@@ -1,0 +1,39 @@
+// ML platform scenario (Section 1.3): a shared cluster serves both
+// distributed training jobs (elastic, heavy-tailed sizes) and model-serving
+// requests (inelastic, tiny, frequent). The example shows that
+// Inelastic-First keeps inference latency at its floor while barely
+// affecting training throughput — and quantifies the tail behavior, which
+// the mean-only theory does not cover.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const k = 32
+	scen := workload.MLPlatform(k, 0.75)
+	fmt.Printf("ML platform: k=%d, rho=%.2f\n", k, scen.Rho(k))
+	fmt.Printf("  serving  (inelastic): %.1f req/s, mean size %.3fs\n", scen.LambdaI, scen.SizeI.Mean())
+	fmt.Printf("  training (elastic):   %.2f jobs/s, mean size %.1fs (bounded Pareto)\n\n",
+		scen.LambdaE, scen.SizeE.Mean())
+
+	for _, p := range []sim.Policy{policy.InelasticFirst{}, policy.ElasticFirst{}, policy.Equi{}} {
+		rec := sim.NewResponseRecorder(100_000, 11)
+		res := sim.RunWithRecorder(sim.RunConfig{
+			K: k, Policy: p, Source: scen.Source(11),
+			WarmupJobs: 30_000, MaxJobs: 300_000,
+		}, rec)
+		fmt.Printf("%-22s inference p50=%.4fs p99=%.4fs | training mean=%.1fs\n",
+			p.Name()+":",
+			rec.Quantile(sim.Inelastic, 0.50),
+			rec.Quantile(sim.Inelastic, 0.99),
+			res.MeanTE)
+	}
+	fmt.Println("\nIF gives inference requests preemptive priority: p99 stays near the")
+	fmt.Println("service-time floor, while training jobs (huge anyway) barely notice.")
+}

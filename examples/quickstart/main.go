@@ -1,0 +1,43 @@
+// Quickstart: analyze and simulate a 4-server cluster shared by elastic and
+// inelastic jobs, and see why Inelastic-First is the right policy when
+// inelastic jobs are smaller on average (Theorem 5 of Berg et al.,
+// SPAA 2020).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A cluster with k=4 servers at 70% load. Inelastic jobs are twice as
+	// small on average (muI = 2, muE = 1) — the paper's "common case".
+	sys := core.ForLoad(4, 0.7, 2.0, 1.0)
+	fmt.Printf("cluster: k=%d, rho=%.2f, muI=%g, muE=%g\n\n", sys.K, sys.Rho(), sys.MuI, sys.MuE)
+
+	// 1. Exact analysis via the busy-period transformation + matrix
+	//    analytic methods (Section 5 of the paper).
+	ifRes, efRes, err := sys.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("matrix-analytic mean response times:")
+	fmt.Printf("  Inelastic-First: E[T] = %.4f\n", ifRes.T)
+	fmt.Printf("  Elastic-First:   E[T] = %.4f\n", efRes.T)
+	fmt.Printf("  IF advantage:    %.1f%%\n\n", 100*(efRes.T-ifRes.T)/efRes.T)
+
+	// 2. The same comparison by discrete-event simulation.
+	opts := core.SimOptions{Seed: 42, WarmupJobs: 20_000, MaxJobs: 400_000}
+	for _, name := range []string{"IF", "EF", "FCFS", "EQUI"} {
+		p, err := sys.PolicyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.Simulate(p, opts)
+		fmt.Printf("  simulated %-5s E[T] = %.4f (E[T_I]=%.4f, E[T_E]=%.4f)\n",
+			name+":", res.MeanT, res.MeanTI, res.MeanTE)
+	}
+	fmt.Println("\nTheorem 5: with muI >= muE no policy beats IF — and none of these do.")
+}

@@ -1,0 +1,105 @@
+package busyperiod
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+func TestMomentsKnownValues(t *testing.T) {
+	b := BusyPeriod{Lambda: 0.5, Mu: 1}
+	m1, m2, m3 := b.Moments()
+	if math.Abs(m1-2) > 1e-12 || math.Abs(m2-16) > 1e-12 || math.Abs(m3-288) > 1e-9 {
+		t.Fatalf("moments (%v,%v,%v)", m1, m2, m3)
+	}
+}
+
+func TestFitCoxianMatchesMoments(t *testing.T) {
+	for _, b := range []BusyPeriod{
+		{Lambda: 0.5, Mu: 1},
+		{Lambda: 1.8, Mu: 4},   // rho = 0.45
+		{Lambda: 3.6, Mu: 4},   // rho = 0.9
+		{Lambda: 0.05, Mu: 10}, // rho = 0.005
+	} {
+		c, err := b.FitCoxian()
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		m1, m2, m3 := b.Moments()
+		if math.Abs(c.Moment(1)-m1) > 1e-6*m1 {
+			t.Fatalf("%+v: m1 %v vs %v", b, c.Moment(1), m1)
+		}
+		if math.Abs(c.Moment(2)-m2) > 1e-6*m2 {
+			t.Fatalf("%+v: m2 %v vs %v", b, c.Moment(2), m2)
+		}
+		if math.Abs(c.Moment(3)-m3) > 1e-5*m3 {
+			t.Fatalf("%+v: m3 %v vs %v", b, c.Moment(3), m3)
+		}
+	}
+}
+
+// TestFitAgainstSimulatedBusyPeriods draws actual M/M/1 busy periods by
+// simulation and compares their empirical mean with the fitted Coxian's.
+func TestFitAgainstSimulatedBusyPeriods(t *testing.T) {
+	b := BusyPeriod{Lambda: 0.7, Mu: 1}
+	c, err := b.FitCoxian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(11)
+	const trials = 200000
+	sum := 0.0
+	for trial := 0; trial < trials; trial++ {
+		// Simulate one busy period: start with one job.
+		njobs := 1
+		clock := 0.0
+		for njobs > 0 {
+			rate := b.Lambda + b.Mu
+			clock += r.Exp(rate)
+			if r.Bernoulli(b.Lambda / rate) {
+				njobs++
+			} else {
+				njobs--
+			}
+		}
+		sum += clock
+	}
+	empirical := sum / trials
+	if math.Abs(empirical-c.Mean()) > 0.05*c.Mean() {
+		t.Fatalf("simulated busy period mean %v, Coxian %v", empirical, c.Mean())
+	}
+}
+
+func TestCoxianRates(t *testing.T) {
+	c := dist.Coxian2{Mu1: 4, Mu2: 0.5, P: 0.25}
+	g1, g2, g3 := CoxianRates(c)
+	if g1 != 3 || g2 != 1 || g3 != 0.5 {
+		t.Fatalf("rates (%v,%v,%v)", g1, g2, g3)
+	}
+	// Conservation: total exit rate from b1 equals Mu1.
+	if math.Abs((g1+g2)-c.Mu1) > 1e-12 {
+		t.Fatal("b1 rates do not sum to Mu1")
+	}
+}
+
+func TestFitExponentialMean(t *testing.T) {
+	b := BusyPeriod{Lambda: 0.5, Mu: 1}
+	e := b.FitExponential()
+	if math.Abs(e.Mean()-2) > 1e-12 {
+		t.Fatalf("exponential fit mean %v", e.Mean())
+	}
+}
+
+func TestFitHyperExpTwoMoments(t *testing.T) {
+	b := BusyPeriod{Lambda: 0.5, Mu: 1}
+	h, err := b.FitHyperExp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2, _ := b.Moments()
+	if math.Abs(h.Moment(1)-m1) > 1e-9 || math.Abs(h.Moment(2)-m2) > 1e-9 {
+		t.Fatalf("hyperexp fit moments (%v,%v), want (%v,%v)", h.Moment(1), h.Moment(2), m1, m2)
+	}
+}

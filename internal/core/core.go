@@ -1,0 +1,125 @@
+// Package core is the public face of the library: a System type holding the
+// paper's model parameters, one-call analysis and simulation entry points,
+// and drivers that regenerate every figure and table of the evaluation
+// (Figures 4, 5, 6, the Theorem 6 counterexample, the analysis-vs-simulation
+// validation, and the Appendix A approximation experiment).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/mrt"
+	"repro/internal/policy"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// System is one instance of the paper's model: k servers, Poisson arrivals
+// of inelastic (rate LambdaI, sizes Exp(MuI)) and elastic (rate LambdaE,
+// sizes Exp(MuE)) jobs.
+type System struct {
+	K                int
+	LambdaI, LambdaE float64
+	MuI, MuE         float64
+}
+
+// NewSystem validates and returns a system; it panics on non-positive
+// parameters (programming error at every call site in this repository).
+func NewSystem(k int, lambdaI, muI, lambdaE, muE float64) System {
+	s := System{K: k, LambdaI: lambdaI, LambdaE: lambdaE, MuI: muI, MuE: muE}
+	if k < 1 || lambdaI <= 0 || lambdaE <= 0 || muI <= 0 || muE <= 0 {
+		panic(fmt.Sprintf("core: invalid system %+v", s))
+	}
+	return s
+}
+
+// ForLoad builds the system with total load rho and lambdaI = lambdaE — the
+// parameterization used by every figure in the paper.
+func ForLoad(k int, rho, muI, muE float64) System {
+	lI, lE := queueing.RatesForLoad(k, rho, muI, muE)
+	return NewSystem(k, lI, muI, lE, muE)
+}
+
+// Rho returns the system load of Eq. 1.
+func (s System) Rho() float64 {
+	return queueing.SystemLoad(s.K, s.LambdaI, s.MuI, s.LambdaE, s.MuE)
+}
+
+// Params converts to the analysis parameter struct.
+func (s System) Params() mrt.Params {
+	return mrt.Params{K: s.K, LambdaI: s.LambdaI, LambdaE: s.LambdaE, MuI: s.MuI, MuE: s.MuE}
+}
+
+// Model converts to the workload generator model.
+func (s System) Model() workload.Model {
+	return workload.NewModel(s.K, s.LambdaI, s.MuI, s.LambdaE, s.MuE)
+}
+
+// Model2D converts to the exact-chain model.
+func (s System) Model2D() ctmc.Model2D {
+	return ctmc.Model2D{K: s.K, LambdaI: s.LambdaI, LambdaE: s.LambdaE, MuI: s.MuI, MuE: s.MuE}
+}
+
+// Analyze returns the matrix-analytic mean response times for IF and EF
+// (Section 5 pipeline).
+func (s System) Analyze() (ifRes, efRes mrt.Result, err error) {
+	return mrt.Analyze(s.Params())
+}
+
+// PolicyByName returns one of the built-in allocation policies. Recognized
+// names: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT and THRESH:<cap>.
+func (s System) PolicyByName(name string) (sim.Policy, error) {
+	switch name {
+	case "IF":
+		return policy.InelasticFirst{}, nil
+	case "EF":
+		return policy.ElasticFirst{}, nil
+	case "FCFS":
+		return policy.FCFS{}, nil
+	case "EQUI":
+		return policy.Equi{}, nil
+	case "GREEDY":
+		return policy.Greedy{MuI: s.MuI, MuE: s.MuE}, nil
+	case "DEFER":
+		return policy.DeferElastic{}, nil
+	case "SRPT":
+		return policy.SRPTK{}, nil
+	}
+	var capN int
+	if n, _ := fmt.Sscanf(name, "THRESH:%d", &capN); n == 1 {
+		return policy.Threshold{Cap: capN}, nil
+	}
+	return nil, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// SimOptions controls a simulation run.
+type SimOptions struct {
+	Seed       uint64
+	WarmupJobs int64
+	MaxJobs    int64
+}
+
+// DefaultSimOptions is sized so that mean response times resolve to about
+// one percent at the loads used in the figures.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{Seed: 1, WarmupJobs: 50_000, MaxJobs: 1_000_000}
+}
+
+// Simulate runs the event-driven simulator under the given policy.
+func (s System) Simulate(p sim.Policy, opt SimOptions) sim.Result {
+	return sim.Run(sim.RunConfig{
+		K:          s.K,
+		Policy:     p,
+		Source:     s.Model().Source(opt.Seed),
+		WarmupJobs: opt.WarmupJobs,
+		MaxJobs:    opt.MaxJobs,
+	})
+}
+
+// SolveExact computes ground-truth mean response times from the truncated
+// 2D chain for any stationary allocation rule.
+func (s System) SolveExact(alloc ctmc.Alloc, tol float64) (ctmc.Perf, error) {
+	return ctmc.AutoSolvePolicy(s.Model2D(), alloc, tol)
+}

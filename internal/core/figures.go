@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/dist"
+	"repro/internal/mrt"
+	"repro/internal/srpt"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// HeatmapPoint is one cell of the Figure 4 heat maps: the relative
+// performance of IF and EF at a (muI, muE) grid point with rho held fixed.
+type HeatmapPoint struct {
+	MuI, MuE float64
+	TIF, TEF float64
+	// IFWins is true when IF's mean response time is at most EF's.
+	IFWins bool
+}
+
+// DefaultMuGrid reproduces the paper's 0.25..3.5 axes.
+func DefaultMuGrid() []float64 {
+	grid := make([]float64, 14)
+	for i := range grid {
+		grid[i] = 0.25 * float64(i+1)
+	}
+	return grid
+}
+
+// Figure4 computes one heat map: for each (muI, muE) pair the arrival rates
+// are rescaled to hold rho constant with lambdaI = lambdaE (the paper's
+// protocol), then both policies are analyzed.
+func Figure4(k int, rho float64, grid []float64) ([]HeatmapPoint, error) {
+	var out []HeatmapPoint
+	for _, muI := range grid {
+		for _, muE := range grid {
+			s := ForLoad(k, rho, muI, muE)
+			ifRes, efRes, err := s.Analyze()
+			if err != nil {
+				return nil, fmt.Errorf("figure4 at (muI=%g, muE=%g): %w", muI, muE, err)
+			}
+			out = append(out, HeatmapPoint{
+				MuI: muI, MuE: muE,
+				TIF: ifRes.T, TEF: efRes.T,
+				IFWins: ifRes.T <= efRes.T,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CurvePoint is one x-position of the Figure 5 response-time curves.
+type CurvePoint struct {
+	MuI      float64
+	TIF, TEF float64
+}
+
+// Figure5 computes E[T] under IF and EF as a function of muI with muE = 1,
+// rho fixed, lambdaI = lambdaE, k servers.
+func Figure5(k int, rho float64, muIs []float64) ([]CurvePoint, error) {
+	var out []CurvePoint
+	for _, muI := range muIs {
+		s := ForLoad(k, rho, muI, 1.0)
+		ifRes, efRes, err := s.Analyze()
+		if err != nil {
+			return nil, fmt.Errorf("figure5 at muI=%g: %w", muI, err)
+		}
+		out = append(out, CurvePoint{MuI: muI, TIF: ifRes.T, TEF: efRes.T})
+	}
+	return out, nil
+}
+
+// KPoint is one x-position of the Figure 6 scaling curves.
+type KPoint struct {
+	K        int
+	TIF, TEF float64
+}
+
+// Figure6 computes E[T] under IF and EF as the number of servers grows with
+// rho held constant; the paper uses rho = 0.9 and the two extreme muI values
+// of Figure 5c.
+func Figure6(rho, muI, muE float64, ks []int) ([]KPoint, error) {
+	var out []KPoint
+	for _, k := range ks {
+		s := ForLoad(k, rho, muI, muE)
+		ifRes, efRes, err := s.Analyze()
+		if err != nil {
+			return nil, fmt.Errorf("figure6 at k=%d: %w", k, err)
+		}
+		out = append(out, KPoint{K: k, TIF: ifRes.T, TEF: efRes.T})
+	}
+	return out, nil
+}
+
+// Theorem6Result carries the exact counterexample values.
+type Theorem6Result struct {
+	MuI, MuE           float64
+	IFTotal, EFTotal   float64
+	IFExpect, EFExpect float64
+}
+
+// Theorem6 computes the counterexample of Section 4.3 by first-step
+// analysis: k = 2, muE = 2 muI, two inelastic and one elastic job at time 0,
+// no arrivals. The exact totals are 35/12/muI (IF) and 33/12/muI (EF).
+func Theorem6(muI float64) (Theorem6Result, error) {
+	m := ctmc.Model2D{K: 2, MuI: muI, MuE: 2 * muI}
+	ifTotal, err := ctmc.BatchTotalResponse(m, ctmc.IFAlloc, 2, 1)
+	if err != nil {
+		return Theorem6Result{}, err
+	}
+	efTotal, err := ctmc.BatchTotalResponse(m, ctmc.EFAlloc, 2, 1)
+	if err != nil {
+		return Theorem6Result{}, err
+	}
+	return Theorem6Result{
+		MuI: muI, MuE: 2 * muI,
+		IFTotal: ifTotal, EFTotal: efTotal,
+		IFExpect: 35.0 / 12 / muI, EFExpect: 33.0 / 12 / muI,
+	}, nil
+}
+
+// ValidationRow is one line of the analysis-vs-simulation table backing the
+// paper's "all numbers agree within 1%" claim.
+type ValidationRow struct {
+	K              int
+	Rho, MuI, MuE  float64
+	Policy         string
+	Analysis       float64
+	Simulation     float64
+	RelErr         float64
+	SimCompletions int64
+}
+
+// ValidateAnalysis compares the matrix-analytic E[T] against long
+// simulations for both policies at each configuration.
+func ValidateAnalysis(k int, rho float64, muIs []float64, opt SimOptions) ([]ValidationRow, error) {
+	var rows []ValidationRow
+	for _, muI := range muIs {
+		s := ForLoad(k, rho, muI, 1.0)
+		ifRes, efRes, err := s.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range []struct {
+			name     string
+			analysis float64
+		}{{"IF", ifRes.T}, {"EF", efRes.T}} {
+			p, err := s.PolicyByName(pr.name)
+			if err != nil {
+				return nil, err
+			}
+			res := s.Simulate(p, opt)
+			rows = append(rows, ValidationRow{
+				K: k, Rho: rho, MuI: muI, MuE: 1.0,
+				Policy:   pr.name,
+				Analysis: pr.analysis, Simulation: res.MeanT,
+				RelErr:         (res.MeanT - pr.analysis) / pr.analysis,
+				SimCompletions: res.Completions,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SRPTRow is one instance family of the Appendix A experiment.
+type SRPTRow struct {
+	N, K       int
+	SizeDist   string
+	WorstRatio float64
+	MeanRatio  float64
+	Trials     int
+}
+
+// SRPTExperiment samples random batch instances and reports the SRPT-k
+// total response time relative to the LP lower bound; Theorem 9 guarantees
+// the ratio to optimal is at most 4.
+func SRPTExperiment(trials int, seed uint64) []SRPTRow {
+	type family struct {
+		n, k int
+		name string
+		mk   func() dist.Distribution
+	}
+	families := []family{
+		{8, 4, "exp(1)", func() dist.Distribution { return dist.NewExponential(1) }},
+		{16, 4, "exp(1)", func() dist.Distribution { return dist.NewExponential(1) }},
+		{16, 8, "pareto(1.5)", func() dist.Distribution { return dist.NewBoundedPareto(1.5, 0.1, 100) }},
+		{32, 8, "uniform(0.5,1.5)", func() dist.Distribution { return dist.NewUniform(0.5, 1.5) }},
+		{32, 16, "pareto(1.5)", func() dist.Distribution { return dist.NewBoundedPareto(1.5, 0.1, 100) }},
+	}
+	r := xrand.New(seed)
+	var rows []SRPTRow
+	for _, f := range families {
+		worst, sum := 0.0, 0.0
+		for trial := 0; trial < trials; trial++ {
+			batch := workload.RandomBatch(r, f.n, f.mk(), f.k)
+			ratio := srpt.ApproximationRatio(batch, f.k)
+			sum += ratio
+			if ratio > worst {
+				worst = ratio
+			}
+		}
+		rows = append(rows, SRPTRow{
+			N: f.n, K: f.k, SizeDist: f.name,
+			WorstRatio: worst, MeanRatio: sum / float64(trials), Trials: trials,
+		})
+	}
+	return rows
+}
+
+// AblationRow quantifies the busy-period fit design choice for one
+// configuration.
+type AblationRow struct {
+	Rho, MuI       float64
+	Policy         string
+	Exact          float64
+	Coxian3, Exp1  float64
+	ErrCox, ErrExp float64
+}
+
+// BusyPeriodAblation compares the paper's 3-moment Coxian busy-period fit
+// against the mean-only exponential replacement, both measured against the
+// exact truncated chain.
+func BusyPeriodAblation(k int, rho float64, muIs []float64) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, muI := range muIs {
+		s := ForLoad(k, rho, muI, 1.0)
+		for _, pol := range []string{"IF", "EF"} {
+			var alloc ctmc.Alloc
+			analyze := mrt.IF
+			if pol == "EF" {
+				alloc = ctmc.EFAlloc
+				analyze = mrt.EF
+			} else {
+				alloc = ctmc.IFAlloc
+			}
+			exact, err := s.SolveExact(alloc, 1e-10)
+			if err != nil {
+				return nil, err
+			}
+			cox, err := analyze(s.Params(), mrt.Coxian3Moment)
+			if err != nil {
+				return nil, err
+			}
+			expo, err := analyze(s.Params(), mrt.Exponential1Moment)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Rho: rho, MuI: muI, Policy: pol,
+				Exact: exact.MeanT, Coxian3: cox.T, Exp1: expo.T,
+				ErrCox: (cox.T - exact.MeanT) / exact.MeanT,
+				ErrExp: (expo.T - exact.MeanT) / exact.MeanT,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderHeatmapASCII draws the Figure 4 heat map in the terminal: rows are
+// muE (descending, like the paper's y-axis), columns are muI; 'o' marks
+// cells where IF dominates and '+' where EF dominates, matching the paper's
+// red-circle/blue-plus convention.
+func RenderHeatmapASCII(points []HeatmapPoint) string {
+	muIs := uniqueSorted(points, func(p HeatmapPoint) float64 { return p.MuI })
+	muEs := uniqueSorted(points, func(p HeatmapPoint) float64 { return p.MuE })
+	cell := make(map[[2]float64]bool, len(points))
+	for _, p := range points {
+		cell[[2]float64{p.MuI, p.MuE}] = p.IFWins
+	}
+	var b strings.Builder
+	for r := len(muEs) - 1; r >= 0; r-- {
+		fmt.Fprintf(&b, "muE=%5.2f |", muEs[r])
+		for _, muI := range muIs {
+			if cell[[2]float64{muI, muEs[r]}] {
+				b.WriteString(" o")
+			} else {
+				b.WriteString(" +")
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("           ")
+	for range muIs {
+		b.WriteString("--")
+	}
+	b.WriteString("\n            muI: ")
+	for _, muI := range muIs {
+		fmt.Fprintf(&b, "%.2g ", muI)
+	}
+	b.WriteString("\n( o = IF superior, + = EF superior )\n")
+	return b.String()
+}
+
+// WriteHeatmapCSV emits the Figure 4 data as CSV.
+func WriteHeatmapCSV(w io.Writer, points []HeatmapPoint) error {
+	if _, err := fmt.Fprintln(w, "muI,muE,ET_IF,ET_EF,winner"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		winner := "EF"
+		if p.IFWins {
+			winner = "IF"
+		}
+		if _, err := fmt.Fprintf(w, "%g,%g,%.6f,%.6f,%s\n", p.MuI, p.MuE, p.TIF, p.TEF, winner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCurveCSV emits the Figure 5 data as CSV.
+func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
+	if _, err := fmt.Fprintln(w, "muI,ET_IF,ET_EF"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%g,%.6f,%.6f\n", p.MuI, p.TIF, p.TEF); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteKCurveCSV emits the Figure 6 data as CSV.
+func WriteKCurveCSV(w io.Writer, points []KPoint) error {
+	if _, err := fmt.Fprintln(w, "k,ET_IF,ET_EF"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f\n", p.K, p.TIF, p.TEF); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteValidationTable renders the analysis-vs-simulation comparison.
+func WriteValidationTable(w io.Writer, rows []ValidationRow) error {
+	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,policy,ET_analysis,ET_simulation,rel_err"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%.6f,%.6f,%+.4f%%\n",
+			r.K, r.Rho, r.MuI, r.MuE, r.Policy, r.Analysis, r.Simulation, 100*r.RelErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func uniqueSorted(points []HeatmapPoint, get func(HeatmapPoint) float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range points {
+		v := get(p)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

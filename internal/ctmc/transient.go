@@ -1,0 +1,114 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient computes the transient state distribution p(t) = p(0) e^{Qt}
+// by uniformization (randomization): with uniformization rate u >= max
+// total outgoing rate, e^{Qt} = sum_n Poisson(ut, n) P^n where
+// P = I + Q/u. The Poisson sum is truncated when the accumulated
+// probability mass exceeds 1 - tol.
+//
+// The repository uses it to measure how fast E[N(t)] approaches its
+// stationary value under each policy — the principled way to size the
+// simulator's warmup period — and as yet another independent check of the
+// stationary solvers (p(t) must converge to pi).
+func (c *Chain) Transient(p0 []float64, t, tol float64) ([]float64, error) {
+	if len(p0) != c.n {
+		return nil, fmt.Errorf("ctmc: initial distribution has %d entries, chain has %d states", len(p0), c.n)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("ctmc: negative time %g", t)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	// Uniformization rate: slightly above the max exit rate to keep the
+	// DTMC aperiodic.
+	u := 0.0
+	for s := 0; s < c.n; s++ {
+		if r := -c.diag[s]; r > u {
+			u = r
+		}
+	}
+	if u == 0 || t == 0 {
+		out := make([]float64, c.n)
+		copy(out, p0)
+		return out, nil
+	}
+	u *= 1.02
+
+	// Iterate v_{n+1} = v_n P with P = I + Q/u, accumulating
+	// out += w_n v_n where w_n are Poisson(ut) weights computed
+	// iteratively in a numerically safe way (log-space start).
+	v := make([]float64, c.n)
+	copy(v, p0)
+	next := make([]float64, c.n)
+	out := make([]float64, c.n)
+
+	ut := u * t
+	// w_0 = e^{-ut}; for large ut this underflows, so run weights in
+	// scaled form: track logw and renormalize through the loop.
+	logw := -ut
+	accum := 0.0
+	for n := 0; ; n++ {
+		w := math.Exp(logw)
+		if w > 0 {
+			for s := range out {
+				out[s] += w * v[s]
+			}
+			accum += w
+		}
+		if accum >= 1-tol {
+			break
+		}
+		if n > int(ut)+200+int(20*math.Sqrt(ut)) {
+			// Far beyond the Poisson bulk; remaining mass is below
+			// tol by Chernoff bounds, stop defensively.
+			break
+		}
+		// v <- v P.
+		for s := range next {
+			next[s] = v[s] * (1 + c.diag[s]/u)
+		}
+		for s, edges := range c.out {
+			vs := v[s]
+			if vs == 0 {
+				continue
+			}
+			for _, e := range edges {
+				next[e.to] += vs * e.rate / u
+			}
+		}
+		v, next = next, v
+		logw += math.Log(ut) - math.Log(float64(n+1))
+	}
+	// Renormalize the truncated sum.
+	sum := 0.0
+	for _, p := range out {
+		sum += p
+	}
+	if sum > 0 {
+		for s := range out {
+			out[s] /= sum
+		}
+	}
+	return out, nil
+}
+
+// TransientMean returns sum_s p_s(t) * reward(s) at each requested time,
+// reusing intermediate powers (each time computed independently; times
+// should be few).
+func (c *Chain) TransientMean(p0 []float64, times []float64, reward func(s int) float64, tol float64) ([]float64, error) {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		pt, err := c.Transient(p0, t, tol)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = MeanReward(pt, reward)
+	}
+	return out, nil
+}

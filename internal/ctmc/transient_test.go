@@ -1,0 +1,166 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTransientTwoState checks against the closed form for a two-state
+// chain: p_1(t) for rates a (0->1) and b (1->0) starting in state 0 is
+// (a/(a+b))(1 - e^{-(a+b)t}).
+func TestTransientTwoState(t *testing.T) {
+	a, b := 2.0, 3.0
+	c := New(2)
+	c.AddRate(0, 1, a)
+	c.AddRate(1, 0, b)
+	for _, tt := range []float64{0, 0.1, 0.5, 1, 5} {
+		pt, err := c.Transient([]float64{1, 0}, tt, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a / (a + b) * (1 - math.Exp(-(a+b)*tt))
+		if math.Abs(pt[1]-want) > 1e-9 {
+			t.Fatalf("p1(%v) = %v, want %v", tt, pt[1], want)
+		}
+	}
+}
+
+// TestTransientPureDeath: a single Exp(mu) job starting in state 1 is done
+// by time t with probability 1 - e^{-mu t}.
+func TestTransientPureDeath(t *testing.T) {
+	c := New(2)
+	c.AddRate(1, 0, 1.5)
+	pt, err := c.Transient([]float64{0, 1}, 2.0, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-1.5 * 2.0)
+	if math.Abs(pt[1]-want) > 1e-9 {
+		t.Fatalf("survival %v, want %v", pt[1], want)
+	}
+}
+
+// TestTransientConvergesToStationary: for large t the transient
+// distribution equals the stationary one.
+func TestTransientConvergesToStationary(t *testing.T) {
+	c := buildMM1(0.6, 1.0, 60)
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]float64, c.N())
+	p0[0] = 1
+	pt, err := c.Transient(p0, 200, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range pi {
+		if math.Abs(pt[s]-pi[s]) > 1e-6 {
+			t.Fatalf("state %d: transient %v vs stationary %v", s, pt[s], pi[s])
+		}
+	}
+}
+
+// TestTransientMassConserved: the distribution sums to one at all times.
+func TestTransientMassConserved(t *testing.T) {
+	c := buildMM1(0.8, 1.0, 40)
+	p0 := make([]float64, c.N())
+	p0[5] = 1
+	for _, tt := range []float64{0.01, 1, 10, 100} {
+		pt, err := c.Transient(p0, tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range pt {
+			sum += p
+			if p < -1e-12 {
+				t.Fatalf("negative probability at t=%v", tt)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mass %v at t=%v", sum, tt)
+		}
+	}
+}
+
+// TestTransientMeanMonotoneRelaxation: starting empty, E[N(t)] rises
+// monotonically toward the stationary mean for the M/M/1 chain.
+func TestTransientMeanMonotoneRelaxation(t *testing.T) {
+	c := buildMM1(0.7, 1.0, 80)
+	p0 := make([]float64, c.N())
+	p0[0] = 1
+	// The M/M/1 relaxation time at rho=0.7 is 1/((1-sqrt(rho))^2 mu) ~ 37,
+	// so run to several multiples of it.
+	times := []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	means, err := c.TransientMean(p0, times, func(s int) float64 { return float64(s) }, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(means); i++ {
+		if means[i] < means[i-1]-1e-9 {
+			t.Fatalf("E[N(t)] decreased from %v to %v", means[i-1], means[i])
+		}
+	}
+	pi, _ := c.StationaryDirect()
+	limit := MeanReward(pi, func(s int) float64 { return float64(s) })
+	if math.Abs(means[len(means)-1]-limit) > 0.01*limit {
+		t.Fatalf("E[N(64)] = %v, stationary %v", means[len(means)-1], limit)
+	}
+}
+
+// TestWarmupTimeScalesWithLoad uses the transient solver for the question
+// the simulator's warmup parameter answers: relaxation to within 1% of the
+// stationary mean takes longer at higher load.
+func TestWarmupTimeScalesWithLoad(t *testing.T) {
+	relax := func(rho float64) float64 {
+		c := buildMM1(rho, 1.0, 400)
+		pi, err := c.StationaryDirect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := MeanReward(pi, func(s int) float64 { return float64(s) })
+		p0 := make([]float64, c.N())
+		p0[0] = 1
+		for _, tt := range []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+			m, err := c.TransientMean(p0, []float64{tt}, func(s int) float64 { return float64(s) }, 1e-10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m[0] > 0.99*limit {
+				return tt
+			}
+		}
+		return math.Inf(1)
+	}
+	if relax(0.9) <= relax(0.5) {
+		t.Fatal("high load should relax more slowly")
+	}
+}
+
+func TestTransientInputValidation(t *testing.T) {
+	c := buildMM1(0.5, 1, 10)
+	if _, err := c.Transient([]float64{1}, 1, 1e-12); err == nil {
+		t.Fatal("wrong p0 length accepted")
+	}
+	if _, err := c.Transient(make([]float64, c.N()), -1, 1e-12); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+// TestTransient2DPolicyChain ties the transient solver to the policy
+// chains: starting from the Theorem 6 initial state with no arrivals, the
+// probability of being empty at time t approaches 1.
+func TestTransient2DPolicyChain(t *testing.T) {
+	m := Model2D{K: 2, MuI: 1, MuE: 2}
+	chain := PolicyChain(m, IFAlloc, 2, 1)
+	p0 := make([]float64, chain.N())
+	p0[2*2+1] = 1 // state (2,1) with capE=1: index i*(capE+1)+j = 5
+	pt, err := chain.Transient(p0, 50, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt[0] < 0.999999 {
+		t.Fatalf("not absorbed by t=50: P(empty)=%v", pt[0])
+	}
+}

@@ -1,0 +1,100 @@
+// Package eventq implements the future-event list of the discrete-event
+// simulator: a binary min-heap ordered by event time with a monotone
+// sequence number breaking ties, so that simultaneous events dequeue in
+// insertion order and runs are exactly reproducible.
+package eventq
+
+// Event is an entry in the queue. Payload is opaque to the queue.
+type Event struct {
+	Time    float64
+	Payload any
+	seq     uint64
+}
+
+// Queue is a min-heap of events. The zero value is ready to use.
+type Queue struct {
+	heap    []Event
+	nextSeq uint64
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Empty reports whether the queue has no events.
+func (q *Queue) Empty() bool { return len(q.heap) == 0 }
+
+// Push inserts an event at the given time.
+func (q *Queue) Push(time float64, payload any) {
+	e := Event{Time: time, Payload: payload, seq: q.nextSeq}
+	q.nextSeq++
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+}
+
+// Peek returns the earliest event without removing it. It panics on an
+// empty queue.
+func (q *Queue) Peek() Event {
+	if len(q.heap) == 0 {
+		panic("eventq: Peek on empty queue")
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest event. Ties in time resolve in
+// insertion order. It panics on an empty queue.
+func (q *Queue) Pop() Event {
+	if len(q.heap) == 0 {
+		panic("eventq: Pop on empty queue")
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// Clear removes all events but keeps the allocated capacity.
+func (q *Queue) Clear() {
+	q.heap = q.heap[:0]
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

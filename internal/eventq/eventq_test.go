@@ -1,0 +1,138 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		q.Push(tm, tm)
+	}
+	prev := -1.0
+	for !q.Empty() {
+		e := q.Pop()
+		if e.Time < prev {
+			t.Fatalf("events out of order: %v after %v", e.Time, prev)
+		}
+		prev = e.Time
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Push(1.0, i)
+	}
+	for i := 0; i < 100; i++ {
+		e := q.Pop()
+		if e.Payload.(int) != i {
+			t.Fatalf("tie broken out of insertion order: got %v at position %d", e.Payload, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(2, "b")
+	q.Push(1, "a")
+	if q.Peek().Payload != "a" || q.Len() != 2 {
+		t.Fatal("Peek wrong")
+	}
+	if q.Pop().Payload != "a" || q.Len() != 1 {
+		t.Fatal("Pop after Peek wrong")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	var q Queue
+	for name, fn := range map[string]func(){
+		"Pop":  func() { q.Pop() },
+		"Peek": func() { q.Peek() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty queue did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue
+	q.Push(1, nil)
+	q.Push(2, nil)
+	q.Clear()
+	if !q.Empty() {
+		t.Fatal("Clear left events")
+	}
+	q.Push(3, "x")
+	if q.Pop().Payload != "x" {
+		t.Fatal("queue unusable after Clear")
+	}
+}
+
+// TestHeapSortProperty checks that popping yields a sorted sequence for
+// arbitrary inputs interleaved with partial pops.
+func TestHeapSortProperty(t *testing.T) {
+	r := xrand.New(99)
+	f := func(n uint8) bool {
+		var q Queue
+		var want []float64
+		for i := 0; i < int(n); i++ {
+			v := r.Float64() * 100
+			q.Push(v, nil)
+			want = append(want, v)
+		}
+		sort.Float64s(want)
+		for _, w := range want {
+			if q.Pop().Time != w {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue
+	r := xrand.New(7)
+	clock := 0.0
+	// Simulate a workload: always push events in the future of the last
+	// popped event, pop in between, and verify the clock never reverses.
+	for i := 0; i < 10000; i++ {
+		if q.Empty() || r.Bernoulli(0.6) {
+			q.Push(clock+r.Float64()*10, i)
+		} else {
+			e := q.Pop()
+			if e.Time < clock {
+				t.Fatalf("clock reversed: %v < %v", e.Time, clock)
+			}
+			clock = e.Time
+		}
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue
+	r := xrand.New(1)
+	for i := 0; i < 1024; i++ {
+		q.Push(r.Float64()*1e6, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		q.Push(e.Time+r.Float64()*100, nil)
+	}
+}

@@ -1,0 +1,375 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// matrix-analytic solver and the CTMC engine.
+//
+// The matrices in this repository are tiny by numerical-computing standards
+// (the QBD phase dimension is k+2 for the Inelastic-First chain and 3 for
+// the Elastic-First chain), so clarity and numerical robustness win over
+// blocking or SIMD tricks: LU with partial pivoting, straightforward
+// triple-loop multiplication, and explicit error reporting for singular
+// systems.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular reports that a linear system has no unique solution.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrShape reports incompatible matrix dimensions.
+var ErrShape = errors.New("linalg: incompatible shapes")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero-valued Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("linalg: non-positive matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices, which must all share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: empty row set")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged row set")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Mul returns a*b. It panics on shape mismatch (a programming error, not a
+// data error, in every call site of this repository).
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(ErrShape)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*b.Cols : (kk+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// AddM returns a+b elementwise.
+func AddM(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// SubM returns a-b elementwise.
+func SubM(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*a.
+func Scale(s float64, a *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = s * a.Data[i]
+	}
+	return out
+}
+
+// MulVec returns a*x for a column vector x.
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns x^T * a for a row vector x.
+func VecMul(x []float64, a *Matrix) []float64 {
+	if a.Rows != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.Cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|; it is the convergence metric for
+// the R-matrix fixed-point iteration.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(ErrShape)
+	}
+	max := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// InfNorm returns the maximum absolute row sum.
+func (m *Matrix) InfNorm() float64 {
+	max := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += math.Abs(m.At(i, j))
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// LU holds an LU factorization with partial pivoting of a square matrix.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of a. It returns ErrSingular when a
+// pivot underflows working precision.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: LU of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in column at or below diag.
+		p := col
+		max := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > max {
+				max, p = v, r
+			}
+		}
+		if max < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[col*n+j] = lu.Data[col*n+j], lu.Data[p*n+j]
+			}
+			piv[p], piv[col] = piv[col], piv[p]
+			sign = -sign
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			if f == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				lu.Add(r, j, -f*lu.At(col, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve returns x with a*x = b for the factored matrix.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic(ErrShape)
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s / f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve returns x with a*x = b.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveMatrix returns X with a*X = B, solving column by column.
+func SolveMatrix(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, ErrShape
+	}
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := f.Solve(col)
+		for i := 0; i < a.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns a^{-1}.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return SolveMatrix(a, Identity(a.Rows))
+}
+
+// SpectralRadius estimates the largest-magnitude eigenvalue of a by power
+// iteration. It is used to verify that the QBD rate matrix R satisfies
+// sp(R) < 1 (the stability condition) before summing the geometric tail.
+func SpectralRadius(a *Matrix, iters int) float64 {
+	if a.Rows != a.Cols {
+		panic(ErrShape)
+	}
+	n := a.Rows
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	radius := 0.0
+	for it := 0; it < iters; it++ {
+		y := MulVec(a, x)
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for i := range y {
+			y[i] /= norm
+		}
+		x = y
+		radius = norm
+	}
+	return radius
+}

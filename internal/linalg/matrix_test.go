@@ -1,0 +1,234 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(r *xrand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = 2*r.Float64() - 1
+	}
+	// Diagonal dominance guarantees non-singularity for property tests.
+	for i := 0; i < n; i++ {
+		m.Add(i, i, float64(n))
+	}
+	return m
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := xrand.New(1)
+	a := randomMatrix(r, 5)
+	left := Mul(Identity(5), a)
+	right := Mul(a, Identity(5))
+	if MaxAbsDiff(left, a) > 1e-14 || MaxAbsDiff(right, a) > 1e-14 {
+		t.Fatal("identity multiplication is not a no-op")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if MaxAbsDiff(Mul(a, b), want) > 1e-14 {
+		t.Fatalf("Mul result:\n%v", Mul(a, b))
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if MaxAbsDiff(AddM(a, b), FromRows([][]float64{{5, 5}, {5, 5}})) > 0 {
+		t.Fatal("AddM wrong")
+	}
+	if MaxAbsDiff(SubM(a, b), FromRows([][]float64{{-3, -1}, {1, 3}})) > 0 {
+		t.Fatal("SubM wrong")
+	}
+	if MaxAbsDiff(Scale(2, a), FromRows([][]float64{{2, 4}, {6, 8}})) > 0 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 -> x=1, y=3.
+	if !almostEq(x[0], 1, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("solution %v", x)
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	r := xrand.New(42)
+	f := func(nq uint8) bool {
+		n := int(nq%8) + 2
+		a := randomMatrix(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 2*r.Float64() - 1
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res := MulVec(a, x)
+		for i := range res {
+			if !almostEq(res[i], b[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseProperty(t *testing.T) {
+	r := xrand.New(7)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%7
+		a := randomMatrix(r, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxAbsDiff(Mul(a, inv), Identity(n)) > 1e-9 {
+			t.Fatalf("a*a^-1 != I for n=%d", n)
+		}
+		if MaxAbsDiff(Mul(inv, a), Identity(n)) > 1e-9 {
+			t.Fatalf("a^-1*a != I for n=%d", n)
+		}
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -14, 1e-10) {
+		t.Fatalf("det %v, want -14", f.Det())
+	}
+}
+
+func TestVecMulMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := MulVec(a, []float64{1, 1, 1})
+	if !almostEq(got[0], 6, 0) || !almostEq(got[1], 15, 0) {
+		t.Fatalf("MulVec %v", got)
+	}
+	row := VecMul([]float64{1, 1}, a)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if !almostEq(row[i], want[i], 0) {
+			t.Fatalf("VecMul %v", row)
+		}
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	a := FromRows([][]float64{{1, -5}, {2, 2}})
+	if a.InfNorm() != 6 {
+		t.Fatalf("inf norm %v", a.InfNorm())
+	}
+}
+
+func TestSpectralRadiusDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{0.5, 0}, {0, 0.25}})
+	if got := SpectralRadius(a, 200); !almostEq(got, 0.5, 1e-6) {
+		t.Fatalf("spectral radius %v, want 0.5", got)
+	}
+}
+
+func TestSpectralRadiusStochastic(t *testing.T) {
+	// Row-stochastic matrices have spectral radius exactly 1.
+	a := FromRows([][]float64{{0.9, 0.1}, {0.4, 0.6}})
+	if got := SpectralRadius(a, 500); !almostEq(got, 1, 1e-6) {
+		t.Fatalf("spectral radius %v, want 1", got)
+	}
+}
+
+func TestSolveMatrixColumns(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := FromRows([][]float64{{1, 0}, {0, 1}})
+	x, err := SolveMatrix(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxAbsDiff(Mul(a, x), b) > 1e-12 {
+		t.Fatal("SolveMatrix residual too large")
+	}
+}
+
+func TestFromRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func BenchmarkMul16(b *testing.B) {
+	r := xrand.New(1)
+	a := randomMatrix(r, 16)
+	c := randomMatrix(r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, c)
+	}
+}
+
+func BenchmarkFactorSolve16(b *testing.B) {
+	r := xrand.New(1)
+	a := randomMatrix(r, 16)
+	rhs := make([]float64, 16)
+	for i := range rhs {
+		rhs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := Factor(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Solve(rhs)
+	}
+}

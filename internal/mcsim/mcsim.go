@@ -1,0 +1,423 @@
+// Package mcsim generalizes the two-class simulator to the extensions the
+// paper sketches in Section 2 (inelastic jobs that may use up to C servers)
+// and Section 6 (more than two classes with different levels of
+// parallelizability): an arbitrary number of job classes, each with its own
+// arrival rate, size distribution, and per-job parallelizability cap.
+//
+// A class with cap 1 is the paper's inelastic class; a class with cap >= k
+// is fully elastic; intermediate caps model partially elastic jobs. The
+// two-class configuration reproduces internal/sim exactly (tested by
+// running both engines on identical arrival sequences).
+package mcsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// ClassSpec describes one job class.
+type ClassSpec struct {
+	Name string
+	// Cap is the maximum number of servers a single job of this class can
+	// use at once; math.Inf(1) means fully elastic.
+	Cap float64
+	// Lambda is the Poisson arrival rate.
+	Lambda float64
+	// Size is the job-size distribution.
+	Size dist.Distribution
+}
+
+// Job is a job in system.
+type Job struct {
+	ID        int
+	Class     int
+	Arrival   float64
+	Size      float64
+	Remaining float64
+	rate      float64
+}
+
+// Arrival is an externally scheduled arrival.
+type Arrival struct {
+	Time  float64
+	Class int
+	Size  float64
+}
+
+// State is the policy-visible system state: per-class FCFS queues.
+type State struct {
+	K       int
+	Time    float64
+	Classes []ClassSpec
+	Queues  [][]*Job
+}
+
+// Policy allocates servers. alloc[c][i] receives the share for
+// Queues[c][i]; entries are pre-zeroed. Per-job allocations must respect
+// the class cap and sum to at most K.
+type Policy interface {
+	Name() string
+	Allocate(st *State, alloc [][]float64)
+}
+
+// PriorityOrder serves classes in strict preemptive priority, FCFS within a
+// class: walking classes in Order, each job takes up to its class cap until
+// the servers run out. With Order = [inelastic, elastic] and caps {1, inf}
+// this is exactly Inelastic-First.
+type PriorityOrder struct {
+	Order []int
+}
+
+// Name implements Policy.
+func (p PriorityOrder) Name() string { return fmt.Sprintf("PRIO%v", p.Order) }
+
+// Allocate implements Policy.
+func (p PriorityOrder) Allocate(st *State, alloc [][]float64) {
+	remaining := float64(st.K)
+	for _, c := range p.Order {
+		cap := st.Classes[c].Cap
+		for i := range st.Queues[c] {
+			if remaining <= 0 {
+				return
+			}
+			a := math.Min(cap, remaining)
+			alloc[c][i] = a
+			remaining -= a
+		}
+	}
+}
+
+// SmallestMeanFirst prioritizes classes by ascending mean size — the
+// natural generalization of "give priority to the smaller class" suggested
+// by Theorems 1 and 5.
+type SmallestMeanFirst struct{}
+
+// Name implements Policy.
+func (SmallestMeanFirst) Name() string { return "SMF" }
+
+// Allocate implements Policy.
+func (SmallestMeanFirst) Allocate(st *State, alloc [][]float64) {
+	order := make([]int, len(st.Classes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for p := i; p > 0 && st.Classes[order[p]].Size.Mean() < st.Classes[order[p-1]].Size.Mean(); p-- {
+			order[p], order[p-1] = order[p-1], order[p]
+		}
+	}
+	PriorityOrder{Order: order}.Allocate(st, alloc)
+}
+
+// LeastFlexibleFirst prioritizes classes by ascending parallelizability cap:
+// serve the jobs that cannot make use of spare capacity first, deferring
+// flexible work — the efficiency intuition behind Inelastic-First extended
+// to many classes.
+type LeastFlexibleFirst struct{}
+
+// Name implements Policy.
+func (LeastFlexibleFirst) Name() string { return "LFF" }
+
+// Allocate implements Policy.
+func (LeastFlexibleFirst) Allocate(st *State, alloc [][]float64) {
+	order := make([]int, len(st.Classes))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for p := i; p > 0 && st.Classes[order[p]].Cap < st.Classes[order[p-1]].Cap; p-- {
+			order[p], order[p-1] = order[p-1], order[p]
+		}
+	}
+	PriorityOrder{Order: order}.Allocate(st, alloc)
+}
+
+// System is a multi-class simulated cluster.
+type System struct {
+	k       int
+	classes []ClassSpec
+	policy  Policy
+	clock   float64
+	nextID  int
+	queues  [][]*Job
+	st      State
+	alloc   [][]float64
+	dirty   bool
+
+	// Metrics.
+	start        float64
+	elapsed      float64
+	areaN        []float64
+	completions  []int64
+	sumResponse  []float64
+	arrivalCount []int64
+}
+
+// NewSystem builds an empty multi-class system.
+func NewSystem(k int, classes []ClassSpec, p Policy) *System {
+	if k < 1 || len(classes) == 0 || p == nil {
+		panic("mcsim: invalid system construction")
+	}
+	for _, c := range classes {
+		if c.Cap < 1 || c.Size == nil {
+			panic(fmt.Sprintf("mcsim: invalid class %+v", c))
+		}
+	}
+	s := &System{
+		k: k, classes: classes, policy: p,
+		queues:       make([][]*Job, len(classes)),
+		alloc:        make([][]float64, len(classes)),
+		areaN:        make([]float64, len(classes)),
+		completions:  make([]int64, len(classes)),
+		sumResponse:  make([]float64, len(classes)),
+		arrivalCount: make([]int64, len(classes)),
+	}
+	s.st = State{K: k, Classes: classes}
+	return s
+}
+
+// Clock returns the current time.
+func (s *System) Clock() float64 { return s.clock }
+
+// NumJobs returns the total jobs in system.
+func (s *System) NumJobs() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Work returns the total remaining work.
+func (s *System) Work() float64 {
+	w := 0.0
+	for _, q := range s.queues {
+		for _, j := range q {
+			w += j.Remaining
+		}
+	}
+	return w
+}
+
+// Arrive injects a job.
+func (s *System) Arrive(a Arrival) {
+	if a.Time < s.clock-1e-12 || a.Size <= 0 || a.Class < 0 || a.Class >= len(s.classes) {
+		panic(fmt.Sprintf("mcsim: bad arrival %+v at clock %v", a, s.clock))
+	}
+	if a.Time > s.clock {
+		s.advanceTo(a.Time)
+	}
+	j := &Job{ID: s.nextID, Class: a.Class, Arrival: s.clock, Size: a.Size, Remaining: a.Size}
+	s.nextID++
+	s.queues[a.Class] = append(s.queues[a.Class], j)
+	s.arrivalCount[a.Class]++
+	s.dirty = true
+}
+
+// AdvanceTo advances the clock, processing completions.
+func (s *System) AdvanceTo(t float64) {
+	if t < s.clock-1e-12 {
+		panic("mcsim: AdvanceTo into the past")
+	}
+	s.advanceTo(t)
+	s.clock = t
+}
+
+// Drain runs until empty or horizon.
+func (s *System) Drain(horizon float64) {
+	s.advanceTo(horizon)
+	if s.clock < horizon {
+		s.clock = horizon
+	}
+}
+
+func (s *System) advanceTo(t float64) {
+	for s.clock < t {
+		s.refresh()
+		job, tc := s.nextCompletion()
+		if job == nil || tc > t {
+			s.integrate(t - s.clock)
+			s.clock = t
+			return
+		}
+		s.integrate(tc - s.clock)
+		s.clock = tc
+		s.complete(job)
+	}
+}
+
+func (s *System) refresh() {
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	s.st.Time = s.clock
+	s.st.Queues = s.queues
+	total := 0.0
+	for c, q := range s.queues {
+		if cap(s.alloc[c]) < len(q) {
+			s.alloc[c] = make([]float64, len(q))
+		}
+		s.alloc[c] = s.alloc[c][:len(q)]
+		for i := range s.alloc[c] {
+			s.alloc[c][i] = 0
+		}
+	}
+	s.policy.Allocate(&s.st, s.alloc)
+	for c, q := range s.queues {
+		capC := s.classes[c].Cap
+		for i, j := range q {
+			a := s.alloc[c][i]
+			if a < -1e-9 || a > capC+1e-9 {
+				panic(fmt.Sprintf("mcsim: policy %s broke the class-%d cap: %v", s.policy.Name(), c, a))
+			}
+			j.rate = math.Max(0, math.Min(a, capC))
+			total += j.rate
+		}
+	}
+	if total > float64(s.k)+1e-6 {
+		panic(fmt.Sprintf("mcsim: policy %s allocated %v > k", s.policy.Name(), total))
+	}
+}
+
+func (s *System) nextCompletion() (*Job, float64) {
+	best := math.Inf(1)
+	var job *Job
+	for _, q := range s.queues {
+		for _, j := range q {
+			var t float64
+			switch {
+			case j.Remaining <= 0:
+				t = s.clock
+			case j.rate > 0:
+				t = s.clock + j.Remaining/j.rate
+			default:
+				continue
+			}
+			if t < best {
+				best, job = t, j
+			}
+		}
+	}
+	return job, best
+}
+
+func (s *System) integrate(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.elapsed += dt
+	for c, q := range s.queues {
+		s.areaN[c] += float64(len(q)) * dt
+		for _, j := range q {
+			if j.rate > 0 {
+				j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
+			}
+		}
+	}
+}
+
+func (s *System) complete(j *Job) {
+	q := s.queues[j.Class]
+	for i, cand := range q {
+		if cand == j {
+			copy(q[i:], q[i+1:])
+			s.queues[j.Class] = q[:len(q)-1]
+			s.completions[j.Class]++
+			s.sumResponse[j.Class] += s.clock - j.Arrival
+			s.dirty = true
+			return
+		}
+	}
+	panic("mcsim: completing unknown job")
+}
+
+// ResetMetrics restarts the observation window.
+func (s *System) ResetMetrics() {
+	s.start = s.clock
+	s.elapsed = 0
+	for c := range s.classes {
+		s.areaN[c] = 0
+		s.completions[c] = 0
+		s.sumResponse[c] = 0
+		s.arrivalCount[c] = 0
+	}
+}
+
+// MeanResponse returns the mean response time of class c (NaN if none
+// completed).
+func (s *System) MeanResponse(c int) float64 {
+	if s.completions[c] == 0 {
+		return math.NaN()
+	}
+	return s.sumResponse[c] / float64(s.completions[c])
+}
+
+// MeanResponseAll returns the mean response time across classes.
+func (s *System) MeanResponseAll() float64 {
+	var n int64
+	var sum float64
+	for c := range s.classes {
+		n += s.completions[c]
+		sum += s.sumResponse[c]
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Completions returns total completed jobs.
+func (s *System) Completions() int64 {
+	var n int64
+	for _, c := range s.completions {
+		n += c
+	}
+	return n
+}
+
+// MeanJobs returns the time-average number of class-c jobs.
+func (s *System) MeanJobs(c int) float64 {
+	if s.elapsed == 0 {
+		return math.NaN()
+	}
+	return s.areaN[c] / s.elapsed
+}
+
+// Run drives a complete stochastic simulation of the class set under the
+// policy: Poisson arrivals per class, warmup discard, fixed measured
+// completions.
+func Run(k int, classes []ClassSpec, p Policy, seed uint64, warmup, maxJobs int64) *System {
+	sys := NewSystem(k, classes, p)
+	arr := make([]*xrand.Rand, len(classes))
+	szr := make([]*xrand.Rand, len(classes))
+	next := make([]float64, len(classes))
+	for c := range classes {
+		arr[c] = xrand.NewStream(seed, uint64(2*c+1))
+		szr[c] = xrand.NewStream(seed, uint64(2*c+2))
+		next[c] = arr[c].Exp(classes[c].Lambda)
+	}
+	warm := false
+	for {
+		// Next arrival across classes.
+		cMin, tMin := 0, math.Inf(1)
+		for c, t := range next {
+			if t < tMin {
+				cMin, tMin = c, t
+			}
+		}
+		sys.AdvanceTo(tMin)
+		if !warm && sys.Completions() >= warmup {
+			sys.ResetMetrics()
+			warm = true
+		}
+		if warm && sys.Completions() >= maxJobs {
+			return sys
+		}
+		sys.Arrive(Arrival{Time: tMin, Class: cMin, Size: classes[cMin].Size.Sample(szr[cMin])})
+		next[cMin] += arr[cMin].Exp(classes[cMin].Lambda)
+	}
+}

@@ -1,0 +1,188 @@
+package mcsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/policy"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// twoClass builds the paper's two-class configuration: class 0 inelastic
+// (cap 1), class 1 elastic (cap inf).
+func twoClass(lambdaI, muI, lambdaE, muE float64) []ClassSpec {
+	return []ClassSpec{
+		{Name: "inelastic", Cap: 1, Lambda: lambdaI, Size: dist.NewExponential(muI)},
+		{Name: "elastic", Cap: math.Inf(1), Lambda: lambdaE, Size: dist.NewExponential(muE)},
+	}
+}
+
+// TestReducesToTwoClassEngine replays an identical arrival sequence through
+// internal/sim (under IF) and mcsim (under PriorityOrder{0,1}) and demands
+// identical completion counts and mean response times: the generalized
+// engine must reproduce the specialized one exactly.
+func TestReducesToTwoClassEngine(t *testing.T) {
+	model := workload.ModelForLoad(4, 0.8, 1.5, 1.0)
+	trace := model.Trace(11, 20_000)
+
+	// Specialized engine.
+	spec := sim.NewSystem(4, policy.InelasticFirst{})
+	for _, a := range trace {
+		spec.AdvanceTo(a.Time)
+		spec.Arrive(a)
+	}
+	spec.Drain(math.Inf(1))
+
+	// Generalized engine with the same jobs.
+	gen := NewSystem(4, twoClass(model.LambdaI, model.MuI, model.LambdaE, model.MuE),
+		PriorityOrder{Order: []int{0, 1}})
+	for _, a := range trace {
+		gen.Arrive(Arrival{Time: a.Time, Class: int(a.Class), Size: a.Size})
+	}
+	gen.Drain(math.Inf(1))
+
+	if gen.Completions() != int64(len(trace)) {
+		t.Fatalf("generalized engine completed %d of %d", gen.Completions(), len(trace))
+	}
+	for c := 0; c < 2; c++ {
+		specMean := spec.Metrics().MeanResponse(sim.Class(c))
+		genMean := gen.MeanResponse(c)
+		if math.Abs(specMean-genMean) > 1e-9*specMean {
+			t.Fatalf("class %d mean response: specialized %v, generalized %v", c, specMean, genMean)
+		}
+	}
+}
+
+// TestElasticUpToCRenormalization checks the Section 2 remark: a system
+// where "inelastic" jobs can use up to C servers is equivalent to the C = 1
+// system after renormalizing servers into units of C. We verify the
+// equivalence by simulating both and comparing mean response times.
+func TestElasticUpToCRenormalization(t *testing.T) {
+	const cFactor = 2
+	k := 8
+	lambda, muI, muE := 1.2, 1.0, 1.0
+	// Original: k=8 servers, capped class can use up to 2 servers, so a
+	// size-x job on 2 servers takes x/2. Renormalized: k=4 units, cap 1,
+	// sizes halved (each unit processes at rate 2 in original terms).
+	capped := []ClassSpec{
+		{Name: "capped", Cap: cFactor, Lambda: lambda, Size: dist.NewExponential(muI)},
+		{Name: "elastic", Cap: math.Inf(1), Lambda: lambda, Size: dist.NewExponential(muE)},
+	}
+	renorm := []ClassSpec{
+		{Name: "capped", Cap: 1, Lambda: lambda, Size: dist.NewExponential(muI * cFactor)},
+		{Name: "elastic", Cap: math.Inf(1), Lambda: lambda, Size: dist.NewExponential(muE * cFactor)},
+	}
+	p := PriorityOrder{Order: []int{0, 1}}
+	a := Run(k, capped, p, 5, 10_000, 150_000)
+	b := Run(k/cFactor, renorm, p, 5, 10_000, 150_000)
+	// Response times in the renormalized system are in halved time units.
+	for c := 0; c < 2; c++ {
+		orig := a.MeanResponse(c)
+		scaled := b.MeanResponse(c) // sizes halved => same clock
+		if math.Abs(orig-scaled) > 0.05*orig {
+			t.Fatalf("class %d: capped system %v vs renormalized %v", c, orig, scaled)
+		}
+	}
+}
+
+// TestSingleClassMMk: one cap-1 class on k servers is an M/M/k.
+func TestSingleClassMMk(t *testing.T) {
+	classes := []ClassSpec{{Name: "jobs", Cap: 1, Lambda: 3.0, Size: dist.NewExponential(1)}}
+	sys := Run(4, classes, PriorityOrder{Order: []int{0}}, 7, 20_000, 300_000)
+	want := queueing.NewMMk(3.0, 1, 4).MeanResponse()
+	if math.Abs(sys.MeanResponse(0)-want)/want > 0.03 {
+		t.Fatalf("M/M/4 E[T]: %v, want %v", sys.MeanResponse(0), want)
+	}
+}
+
+// TestThreeClassPriorityOrdering: with three classes of ascending mean size
+// and caps {1, 4, inf} on k=8, the least-flexible-first and
+// smallest-mean-first orders coincide and beat the reverse order.
+func TestThreeClassPriorityOrdering(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "tiny-rigid", Cap: 1, Lambda: 1.5, Size: dist.NewExponential(4)},
+		{Name: "mid-partial", Cap: 4, Lambda: 0.8, Size: dist.NewExponential(1)},
+		{Name: "big-elastic", Cap: math.Inf(1), Lambda: 0.4, Size: dist.NewExponential(0.25)},
+	}
+	forward := Run(8, classes, PriorityOrder{Order: []int{0, 1, 2}}, 3, 20_000, 250_000)
+	reverse := Run(8, classes, PriorityOrder{Order: []int{2, 1, 0}}, 3, 20_000, 250_000)
+	if forward.MeanResponseAll() >= reverse.MeanResponseAll() {
+		t.Fatalf("deferring flexible work should win: forward %v, reverse %v",
+			forward.MeanResponseAll(), reverse.MeanResponseAll())
+	}
+}
+
+func TestSmallestMeanFirstOrdersClasses(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "big", Cap: 1, Lambda: 1, Size: dist.NewExponential(0.5)},
+		{Name: "small", Cap: 1, Lambda: 1, Size: dist.NewExponential(5)},
+	}
+	sys := NewSystem(4, classes, SmallestMeanFirst{})
+	sys.Arrive(Arrival{Time: 0, Class: 0, Size: 10})
+	sys.Arrive(Arrival{Time: 0, Class: 1, Size: 10})
+	// Both cap-1 on k=4: both served anyway. Use k=1 for discrimination.
+	sys2 := NewSystem(1, classes, SmallestMeanFirst{})
+	sys2.Arrive(Arrival{Time: 0, Class: 0, Size: 10})
+	sys2.Arrive(Arrival{Time: 0, Class: 1, Size: 1})
+	sys2.AdvanceTo(1.5)
+	// The small-mean class (class 1) should have been served first and
+	// completed at t=1.
+	if sys2.MeanResponse(1) != 1 {
+		t.Fatalf("small class response %v, want 1", sys2.MeanResponse(1))
+	}
+	_ = sys
+}
+
+func TestLeastFlexibleFirstOrdersByCaps(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "elastic", Cap: math.Inf(1), Lambda: 1, Size: dist.NewExponential(1)},
+		{Name: "rigid", Cap: 1, Lambda: 1, Size: dist.NewExponential(1)},
+	}
+	sys := NewSystem(2, classes, LeastFlexibleFirst{})
+	sys.Arrive(Arrival{Time: 0, Class: 0, Size: 2}) // elastic
+	sys.Arrive(Arrival{Time: 0, Class: 1, Size: 1}) // rigid, must get a server
+	sys.AdvanceTo(1.0)
+	if got := sys.MeanResponse(1); got != 1 {
+		t.Fatalf("rigid job response %v, want 1 (LFF must serve it first)", got)
+	}
+}
+
+func TestWorkAndJobsAccounting(t *testing.T) {
+	classes := twoClass(1, 1, 1, 1)
+	sys := NewSystem(4, classes, PriorityOrder{Order: []int{0, 1}})
+	sys.Arrive(Arrival{Time: 0, Class: 0, Size: 3})
+	sys.Arrive(Arrival{Time: 0, Class: 1, Size: 5})
+	if sys.Work() != 8 || sys.NumJobs() != 2 {
+		t.Fatalf("work %v jobs %d", sys.Work(), sys.NumJobs())
+	}
+	sys.AdvanceTo(1)
+	// 1 server on the rigid job + 3 on the elastic: 8-4 = 4 left.
+	if math.Abs(sys.Work()-4) > 1e-9 {
+		t.Fatalf("work after 1s: %v", sys.Work())
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	classes := twoClass(1, 1, 1, 1)
+	for name, fn := range map[string]func(){
+		"zero k":    func() { NewSystem(0, classes, PriorityOrder{Order: []int{0, 1}}) },
+		"nil pol":   func() { NewSystem(2, classes, nil) },
+		"bad class": func() { NewSystem(2, []ClassSpec{{Cap: 0}}, PriorityOrder{}) },
+		"bad arrival": func() {
+			s := NewSystem(2, classes, PriorityOrder{Order: []int{0, 1}})
+			s.Arrive(Arrival{Time: 0, Class: 5, Size: 1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,221 @@
+// Package plot renders the repository's figures as standalone SVG files
+// using only the standard library. It supports exactly what the paper's
+// figures need: multi-series line charts with axes, ticks and a legend
+// (Figures 5 and 6) and a two-color scatter grid (the Figure 4 heat maps).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one polyline of a line chart.
+type Series struct {
+	Name  string
+	X, Y  []float64
+	Color string
+}
+
+// LineChart is a multi-series chart specification.
+type LineChart struct {
+	Title, XLabel, YLabel string
+	Series                []Series
+	Width, Height         int
+}
+
+// Scatter is a categorical two-color grid (the Figure 4 heat map style).
+type Scatter struct {
+	Title, XLabel, YLabel string
+	X, Y                  []float64
+	Class                 []bool // true = first color
+	TrueName, FalseName   string
+	TrueColor, FalseColor string
+	Width, Height         int
+}
+
+const (
+	marginL = 64.0
+	marginR = 16.0
+	marginT = 36.0
+	marginB = 48.0
+)
+
+var defaultPalette = []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Render writes the chart as an SVG document.
+func (c LineChart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width, height := sizeOrDefault(c.Width, c.Height)
+	xmin, xmax, ymin, ymax := math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			return fmt.Errorf("plot: series %q has mismatched or empty data", s.Name)
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if ymin > 0 {
+		ymin = 0 // response-time plots anchor at zero like the paper's
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+
+	var b strings.Builder
+	openSVG(&b, width, height, c.Title)
+	drawAxes(&b, width, height, xmin, xmax, ymin, ymax, c.XLabel, c.YLabel)
+
+	sx := func(x float64) float64 {
+		return marginL + (x-xmin)/(xmax-xmin)*(float64(width)-marginL-marginR)
+	}
+	sy := func(y float64) float64 {
+		return float64(height) - marginB - (y-ymin)/(ymax-ymin)*(float64(height)-marginT-marginB)
+	}
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = defaultPalette[i%len(defaultPalette)]
+		}
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", sx(s.X[j]), sy(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for j := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.5" fill="%s"/>`+"\n", sx(s.X[j]), sy(s.Y[j]), color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + float64(i)*18
+		fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="14" height="4" fill="%s"/>`+"\n",
+			float64(width)-marginR-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="12">%s</text>`+"\n",
+			float64(width)-marginR-92, ly+6, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Render writes the scatter grid as an SVG document.
+func (s Scatter) Render(w io.Writer) error {
+	if len(s.X) != len(s.Y) || len(s.X) != len(s.Class) || len(s.X) == 0 {
+		return fmt.Errorf("plot: scatter data mismatched or empty")
+	}
+	width, height := sizeOrDefault(s.Width, s.Height)
+	xmin, xmax, ymin, ymax := math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	for i := range s.X {
+		xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+		ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+	}
+	xmin, xmax = pad(xmin, xmax)
+	ymin, ymax = pad(ymin, ymax)
+
+	trueColor, falseColor := s.TrueColor, s.FalseColor
+	if trueColor == "" {
+		trueColor = "#d62728"
+	}
+	if falseColor == "" {
+		falseColor = "#1f77b4"
+	}
+
+	var b strings.Builder
+	openSVG(&b, width, height, s.Title)
+	drawAxes(&b, width, height, xmin, xmax, ymin, ymax, s.XLabel, s.YLabel)
+	sx := func(x float64) float64 {
+		return marginL + (x-xmin)/(xmax-xmin)*(float64(width)-marginL-marginR)
+	}
+	sy := func(y float64) float64 {
+		return float64(height) - marginB - (y-ymin)/(ymax-ymin)*(float64(height)-marginT-marginB)
+	}
+	for i := range s.X {
+		if s.Class[i] {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="5" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+				sx(s.X[i]), sy(s.Y[i]), trueColor)
+		} else {
+			x, y := sx(s.X[i]), sy(s.Y[i])
+			fmt.Fprintf(&b, `<path d="M %.2f %.2f h 8 M %.2f %.2f v 8" stroke="%s" stroke-width="1.8"/>`+"\n",
+				x-4, y, x, y-4, falseColor)
+		}
+	}
+	// Legend.
+	fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="5" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+		float64(width)-marginR-120, marginT+10, trueColor)
+	fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="12">%s</text>`+"\n",
+		float64(width)-marginR-108, marginT+14, escape(s.TrueName))
+	fmt.Fprintf(&b, `<path d="M %.2f %.2f h 8 M %.2f %.2f v 8" stroke="%s" stroke-width="1.8"/>`+"\n",
+		float64(width)-marginR-124, marginT+28, float64(width)-marginR-120, marginT+24, falseColor)
+	fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="12">%s</text>`+"\n",
+		float64(width)-marginR-108, marginT+32, escape(s.FalseName))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sizeOrDefault(w, h int) (int, int) {
+	if w <= 0 {
+		w = 560
+	}
+	if h <= 0 {
+		h = 400
+	}
+	return w, h
+}
+
+func pad(lo, hi float64) (float64, float64) {
+	if lo == hi {
+		return lo - 1, hi + 1
+	}
+	d := (hi - lo) * 0.04
+	return lo - d, hi + d
+}
+
+func openSVG(b *strings.Builder, width, height int, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="20" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		width/2, escape(title))
+}
+
+func drawAxes(b *strings.Builder, width, height int, xmin, xmax, ymin, ymax float64, xlabel, ylabel string) {
+	x0, y0 := marginL, float64(height)-marginB
+	x1, y1 := float64(width)-marginR, marginT
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x1, y0)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0, y0, x0, y1)
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		// X ticks.
+		xv := xmin + f*(xmax-xmin)
+		xp := x0 + f*(x1-x0)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", xp, y0, xp, y0+4)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xp, y0+18, tickLabel(xv))
+		// Y ticks.
+		yv := ymin + f*(ymax-ymin)
+		yp := y0 - f*(y0-y1)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", x0-4, yp, x0, yp)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			x0-7, yp+4, tickLabel(yv))
+	}
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(x0+x1)/2, float64(height)-10, escape(xlabel))
+	fmt.Fprintf(b, `<text x="14" y="%.1f" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		(y0+y1)/2, (y0+y1)/2, escape(ylabel))
+}
+
+func tickLabel(v float64) string {
+	if math.Abs(v) >= 100 || v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func validXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestLineChartRenders(t *testing.T) {
+	var sb strings.Builder
+	c := LineChart{
+		Title: "E[T] vs muI", XLabel: "muI", YLabel: "E[T]",
+		Series: []Series{
+			{Name: "IF", X: []float64{1, 2, 3}, Y: []float64{3, 2, 1}},
+			{Name: "EF", X: []float64{1, 2, 3}, Y: []float64{2.5, 2.2, 2.0}},
+		},
+	}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc := sb.String()
+	validXML(t, doc)
+	for _, want := range []string{"<svg", "polyline", "IF", "EF", "muI", "E[T]"} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("missing %q in SVG", want)
+		}
+	}
+	// Two polylines for two series.
+	if strings.Count(doc, "<polyline") != 2 {
+		t.Fatalf("expected 2 polylines, got %d", strings.Count(doc, "<polyline"))
+	}
+}
+
+func TestLineChartRejectsBadData(t *testing.T) {
+	var sb strings.Builder
+	if err := (LineChart{}).Render(&sb); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c := LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := c.Render(&sb); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestScatterRenders(t *testing.T) {
+	var sb strings.Builder
+	s := Scatter{
+		Title: "Fig 4", XLabel: "muI", YLabel: "muE",
+		X:        []float64{1, 2, 1, 2},
+		Y:        []float64{1, 1, 2, 2},
+		Class:    []bool{true, true, false, true},
+		TrueName: "IF superior", FalseName: "EF superior",
+	}
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc := sb.String()
+	validXML(t, doc)
+	// 3 true circles + 1 legend circle.
+	if got := strings.Count(doc, "<circle"); got != 4 {
+		t.Fatalf("circles: %d", got)
+	}
+	// 1 false cross + 1 legend cross.
+	if got := strings.Count(doc, "<path"); got != 2 {
+		t.Fatalf("crosses: %d", got)
+	}
+}
+
+func TestScatterRejectsBadData(t *testing.T) {
+	var sb strings.Builder
+	s := Scatter{X: []float64{1}, Y: []float64{1, 2}, Class: []bool{true}}
+	if err := s.Render(&sb); err == nil {
+		t.Fatal("mismatched scatter accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	var sb strings.Builder
+	c := LineChart{
+		Title:  `a<b & "c"`,
+		Series: []Series{{Name: "s>1", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validXML(t, sb.String())
+	if strings.Contains(sb.String(), "a<b") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestConstantSeriesDoesNotDivideByZero(t *testing.T) {
+	var sb strings.Builder
+	c := LineChart{Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{2, 2}}}}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}

@@ -1,0 +1,266 @@
+// Package policy implements the server-allocation policies studied in the
+// paper plus the baseline and ablation families used in the optimality
+// experiments.
+//
+// All policies are stationary, deterministic and (except DeferElastic,
+// which exists to demonstrate Appendix B) work-conserving. The paper's
+// headline policies are:
+//
+//   - InelasticFirst (IF): strict preemptive priority to inelastic jobs;
+//     optimal for mean response time whenever muI >= muE (Theorems 1, 5).
+//   - ElasticFirst (EF): strict preemptive priority to elastic jobs; can
+//     beat IF when muI < muE (Theorem 6).
+//
+// Within a class every policy serves FCFS, matching the class P of
+// Section 4.2.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// InelasticFirst returns the IF policy: in state (i, j) with i < k, each
+// inelastic job receives one server and the earliest-arriving elastic job
+// receives the remaining k-i; with i >= k the k earliest inelastic jobs are
+// served.
+type InelasticFirst struct{}
+
+// Name implements sim.Policy.
+func (InelasticFirst) Name() string { return "IF" }
+
+// Allocate implements sim.Policy.
+func (InelasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
+	remaining := float64(st.K)
+	for i := range st.Inelastic {
+		if remaining <= 0 {
+			break
+		}
+		alloc.Inelastic[i] = 1
+		remaining--
+	}
+	if remaining > 0 && len(st.Elastic) > 0 {
+		alloc.Elastic[0] = remaining
+	}
+}
+
+// ElasticFirst returns the EF policy: whenever an elastic job is present,
+// the earliest-arriving one receives all k servers; otherwise inelastic jobs
+// are served FCFS, one server each.
+type ElasticFirst struct{}
+
+// Name implements sim.Policy.
+func (ElasticFirst) Name() string { return "EF" }
+
+// Allocate implements sim.Policy.
+func (ElasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
+	if len(st.Elastic) > 0 {
+		alloc.Elastic[0] = float64(st.K)
+		return
+	}
+	remaining := float64(st.K)
+	for i := range st.Inelastic {
+		if remaining <= 0 {
+			break
+		}
+		alloc.Inelastic[i] = 1
+		remaining--
+	}
+}
+
+// FCFS serves jobs of both classes in one global first-come-first-serve
+// order: walking jobs by arrival time, an inelastic job claims one server
+// and an elastic job claims everything left (blocking later jobs). It is a
+// natural cluster-scheduler baseline outside the paper's two headline
+// policies.
+type FCFS struct{}
+
+// Name implements sim.Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Allocate implements sim.Policy.
+func (FCFS) Allocate(st *sim.State, alloc *sim.Allocation) {
+	remaining := float64(st.K)
+	ii, ei := 0, 0
+	for remaining > 0 && (ii < len(st.Inelastic) || ei < len(st.Elastic)) {
+		takeInelastic := ei >= len(st.Elastic)
+		if !takeInelastic && ii < len(st.Inelastic) {
+			takeInelastic = st.Inelastic[ii].Arrival <= st.Elastic[ei].Arrival
+		}
+		if takeInelastic {
+			alloc.Inelastic[ii] = 1
+			remaining--
+			ii++
+		} else {
+			alloc.Elastic[ei] = remaining
+			remaining = 0
+			ei++
+		}
+	}
+}
+
+// Equi is generalized processor sharing: every job in the system receives an
+// equal share k/n of the servers, with inelastic shares capped at one server
+// and the excess redistributed to elastic jobs (water-filling). It is the
+// stochastic analogue of the EQUI algorithm from the worst-case literature
+// discussed in Sections 1.4 and 3.
+type Equi struct{}
+
+// Name implements sim.Policy.
+func (Equi) Name() string { return "EQUI" }
+
+// Allocate implements sim.Policy.
+func (Equi) Allocate(st *sim.State, alloc *sim.Allocation) {
+	nI, nE := len(st.Inelastic), len(st.Elastic)
+	n := nI + nE
+	if n == 0 {
+		return
+	}
+	share := float64(st.K) / float64(n)
+	inelasticShare := share
+	if inelasticShare > 1 {
+		inelasticShare = 1
+	}
+	for i := range st.Inelastic {
+		alloc.Inelastic[i] = inelasticShare
+	}
+	if nE > 0 {
+		perElastic := (float64(st.K) - float64(nI)*inelasticShare) / float64(nE)
+		for i := range st.Elastic {
+			alloc.Elastic[i] = perElastic
+		}
+	}
+	// With no elastic jobs present the inelastic cap may strand capacity;
+	// that is inherent to the model (inelastic jobs cannot use more than
+	// one server) and EQUI remains work-conserving in the paper's sense.
+}
+
+// Greedy maximizes the instantaneous total departure rate
+// piI*muI + piE*muE (the GREEDY class of [7] referenced in Theorem 1).
+// When MuI >= MuE it allocates like IF; otherwise like EF with inelastic
+// jobs soaking up leftover servers. Ties favor inelastic jobs, which makes
+// this implementation simultaneously a member of GREEDY* (minimal elastic
+// allocation among GREEDY policies).
+type Greedy struct {
+	MuI, MuE float64
+}
+
+// Name implements sim.Policy.
+func (g Greedy) Name() string { return fmt.Sprintf("GREEDY(muI=%g,muE=%g)", g.MuI, g.MuE) }
+
+// Allocate implements sim.Policy.
+func (g Greedy) Allocate(st *sim.State, alloc *sim.Allocation) {
+	if g.MuI >= g.MuE {
+		InelasticFirst{}.Allocate(st, alloc)
+		return
+	}
+	// muE > muI: all servers to the elastic head job maximizes rate;
+	// leftovers (j = 0) go to inelastic jobs.
+	ElasticFirst{}.Allocate(st, alloc)
+}
+
+// Threshold interpolates between EF and IF: when elastic jobs are present,
+// inelastic jobs receive at most Cap servers (FCFS) and the elastic head job
+// receives the rest; with no elastic jobs, inelastic jobs are served on all
+// k servers. Cap = k reproduces IF and Cap = 0 reproduces EF, so scanning
+// Cap provides the policy family for the optimality experiments of
+// Section 4.
+type Threshold struct {
+	Cap int
+}
+
+// Name implements sim.Policy.
+func (t Threshold) Name() string { return fmt.Sprintf("THRESH(%d)", t.Cap) }
+
+// Allocate implements sim.Policy.
+func (t Threshold) Allocate(st *sim.State, alloc *sim.Allocation) {
+	remaining := float64(st.K)
+	capLeft := float64(t.Cap)
+	if len(st.Elastic) == 0 {
+		capLeft = remaining
+	}
+	for i := range st.Inelastic {
+		if remaining <= 0 || capLeft <= 0 {
+			break
+		}
+		alloc.Inelastic[i] = 1
+		remaining--
+		capLeft--
+	}
+	if remaining > 0 && len(st.Elastic) > 0 {
+		alloc.Elastic[0] = remaining
+	}
+}
+
+// DeferElastic is the deliberately idling policy used to exercise the
+// Appendix B interchange argument: when any inelastic job is present it
+// serves only inelastic jobs and idles every server that IF would have given
+// to an elastic job. Theorem 12 implies it is weakly dominated by IF.
+type DeferElastic struct{}
+
+// Name implements sim.Policy.
+func (DeferElastic) Name() string { return "DEFER-E(idling)" }
+
+// Allocate implements sim.Policy.
+func (DeferElastic) Allocate(st *sim.State, alloc *sim.Allocation) {
+	remaining := float64(st.K)
+	for i := range st.Inelastic {
+		if remaining <= 0 {
+			break
+		}
+		alloc.Inelastic[i] = 1
+		remaining--
+	}
+	if len(st.Inelastic) == 0 && len(st.Elastic) > 0 {
+		alloc.Elastic[0] = float64(st.K)
+	}
+}
+
+// SRPTK is a size-aware baseline extending SRPT-k (Section 1.4, [18]) to
+// the elastic/inelastic model: jobs are prioritized by remaining size;
+// an inelastic job claims one server, an elastic job claims all servers
+// left after smaller jobs. It requires known sizes, which the paper's
+// stochastic setting forbids — it is included as the clairvoyant reference
+// point.
+type SRPTK struct{}
+
+// Name implements sim.Policy.
+func (SRPTK) Name() string { return "SRPT-k" }
+
+// Allocate implements sim.Policy.
+func (SRPTK) Allocate(st *sim.State, alloc *sim.Allocation) {
+	type ref struct {
+		remaining float64
+		elastic   bool
+		idx       int
+	}
+	jobs := make([]ref, 0, len(st.Inelastic)+len(st.Elastic))
+	for i, j := range st.Inelastic {
+		jobs = append(jobs, ref{j.Remaining, false, i})
+	}
+	for i, j := range st.Elastic {
+		jobs = append(jobs, ref{j.Remaining, true, i})
+	}
+	// Insertion sort by remaining size; job counts are small and the
+	// allocation is recomputed at every event, so avoiding sort.Slice
+	// keeps the hot path allocation-free.
+	for i := 1; i < len(jobs); i++ {
+		for p := i; p > 0 && jobs[p].remaining < jobs[p-1].remaining; p-- {
+			jobs[p], jobs[p-1] = jobs[p-1], jobs[p]
+		}
+	}
+	remaining := float64(st.K)
+	for _, j := range jobs {
+		if remaining <= 0 {
+			break
+		}
+		if j.elastic {
+			alloc.Elastic[j.idx] = remaining
+			remaining = 0
+		} else {
+			alloc.Inelastic[j.idx] = 1
+			remaining--
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// state builds a scheduler state with i inelastic and j elastic jobs on k
+// servers, arrival order by index (inelastic first).
+func state(k, i, j int) (*sim.State, *sim.Allocation) {
+	st := &sim.State{K: k}
+	for n := 0; n < i; n++ {
+		st.Inelastic = append(st.Inelastic, &sim.Job{ID: n, Class: sim.Inelastic, Arrival: float64(n)})
+	}
+	for n := 0; n < j; n++ {
+		st.Elastic = append(st.Elastic, &sim.Job{ID: i + n, Class: sim.Elastic, Arrival: float64(i + n)})
+	}
+	alloc := &sim.Allocation{
+		Inelastic: make([]float64, i),
+		Elastic:   make([]float64, j),
+	}
+	return st, alloc
+}
+
+func totalAlloc(a *sim.Allocation) float64 {
+	s := 0.0
+	for _, v := range a.Inelastic {
+		s += v
+	}
+	for _, v := range a.Elastic {
+		s += v
+	}
+	return s
+}
+
+func TestIFAllocations(t *testing.T) {
+	cases := []struct {
+		k, i, j          int
+		wantI            []float64
+		wantElasticTotal float64
+	}{
+		{4, 2, 1, []float64{1, 1}, 2},             // paper's canonical split
+		{4, 0, 3, nil, 4},                         // all servers to the head elastic job
+		{4, 6, 2, []float64{1, 1, 1, 1, 0, 0}, 0}, // saturated by inelastic
+		{4, 4, 1, []float64{1, 1, 1, 1}, 0},
+		{4, 3, 0, []float64{1, 1, 1}, 0},
+	}
+	for _, c := range cases {
+		st, alloc := state(c.k, c.i, c.j)
+		InelasticFirst{}.Allocate(st, alloc)
+		for idx, want := range c.wantI {
+			if alloc.Inelastic[idx] != want {
+				t.Fatalf("IF k=%d (i=%d,j=%d): inelastic[%d]=%v want %v",
+					c.k, c.i, c.j, idx, alloc.Inelastic[idx], want)
+			}
+		}
+		et := 0.0
+		for _, v := range alloc.Elastic {
+			et += v
+		}
+		if et != c.wantElasticTotal {
+			t.Fatalf("IF k=%d (i=%d,j=%d): elastic total %v want %v", c.k, c.i, c.j, et, c.wantElasticTotal)
+		}
+		// Head-of-line elastic job gets everything.
+		if c.j > 1 && alloc.Elastic[1] != 0 {
+			t.Fatal("IF split elastic allocation beyond the head job")
+		}
+	}
+}
+
+func TestEFAllocations(t *testing.T) {
+	st, alloc := state(4, 3, 2)
+	ElasticFirst{}.Allocate(st, alloc)
+	if alloc.Elastic[0] != 4 || alloc.Elastic[1] != 0 {
+		t.Fatalf("EF elastic alloc %v", alloc.Elastic)
+	}
+	for i, v := range alloc.Inelastic {
+		if v != 0 {
+			t.Fatalf("EF gave inelastic[%d]=%v with elastic present", i, v)
+		}
+	}
+	st, alloc = state(4, 6, 0)
+	ElasticFirst{}.Allocate(st, alloc)
+	want := []float64{1, 1, 1, 1, 0, 0}
+	for i, v := range want {
+		if alloc.Inelastic[i] != v {
+			t.Fatalf("EF inelastic alloc %v", alloc.Inelastic)
+		}
+	}
+}
+
+func TestFCFSBlocksOnElastic(t *testing.T) {
+	// Arrival order: inelastic(0), elastic(1), inelastic(2). FCFS gives
+	// the first inelastic 1 server, then the elastic takes all remaining,
+	// starving the later inelastic.
+	st := &sim.State{K: 4}
+	st.Inelastic = []*sim.Job{
+		{ID: 0, Arrival: 0}, {ID: 2, Arrival: 2},
+	}
+	st.Elastic = []*sim.Job{{ID: 1, Arrival: 1}}
+	alloc := &sim.Allocation{Inelastic: make([]float64, 2), Elastic: make([]float64, 1)}
+	FCFS{}.Allocate(st, alloc)
+	if alloc.Inelastic[0] != 1 || alloc.Elastic[0] != 3 || alloc.Inelastic[1] != 0 {
+		t.Fatalf("FCFS alloc I=%v E=%v", alloc.Inelastic, alloc.Elastic)
+	}
+}
+
+func TestEquiWaterFilling(t *testing.T) {
+	// k=4, 2 inelastic + 2 elastic: share=1 each, no excess.
+	st, alloc := state(4, 2, 2)
+	Equi{}.Allocate(st, alloc)
+	for _, v := range alloc.Inelastic {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("EQUI inelastic %v", alloc.Inelastic)
+		}
+	}
+	for _, v := range alloc.Elastic {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("EQUI elastic %v", alloc.Elastic)
+		}
+	}
+	// k=8, 1 inelastic + 1 elastic: inelastic capped at 1, elastic gets 7.
+	st, alloc = state(8, 1, 1)
+	Equi{}.Allocate(st, alloc)
+	if alloc.Inelastic[0] != 1 || alloc.Elastic[0] != 7 {
+		t.Fatalf("EQUI cap redistribution I=%v E=%v", alloc.Inelastic, alloc.Elastic)
+	}
+	// Oversubscribed: k=2, 4 inelastic: each gets 1/2.
+	st, alloc = state(2, 4, 0)
+	Equi{}.Allocate(st, alloc)
+	for _, v := range alloc.Inelastic {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Fatalf("EQUI oversubscribed %v", alloc.Inelastic)
+		}
+	}
+}
+
+func TestGreedyMatchesIFAndEF(t *testing.T) {
+	st, allocG := state(4, 2, 2)
+	_, allocIF := state(4, 2, 2)
+	Greedy{MuI: 2, MuE: 1}.Allocate(st, allocG)
+	InelasticFirst{}.Allocate(st, allocIF)
+	for i := range allocG.Inelastic {
+		if allocG.Inelastic[i] != allocIF.Inelastic[i] {
+			t.Fatal("GREEDY with muI>muE differs from IF")
+		}
+	}
+	_, allocG2 := state(4, 2, 2)
+	_, allocEF := state(4, 2, 2)
+	Greedy{MuI: 1, MuE: 2}.Allocate(st, allocG2)
+	ElasticFirst{}.Allocate(st, allocEF)
+	if allocG2.Elastic[0] != allocEF.Elastic[0] {
+		t.Fatal("GREEDY with muE>muI differs from EF")
+	}
+}
+
+func TestThresholdEndpoints(t *testing.T) {
+	st, allocT := state(4, 3, 1)
+	Threshold{Cap: 4}.Allocate(st, allocT)
+	_, allocIF := state(4, 3, 1)
+	InelasticFirst{}.Allocate(st, allocIF)
+	for i := range allocT.Inelastic {
+		if allocT.Inelastic[i] != allocIF.Inelastic[i] {
+			t.Fatal("Threshold(k) differs from IF")
+		}
+	}
+	st, allocT = state(4, 3, 1)
+	Threshold{Cap: 0}.Allocate(st, allocT)
+	if allocT.Elastic[0] != 4 {
+		t.Fatal("Threshold(0) differs from EF when elastic present")
+	}
+	// Without elastic jobs the cap is lifted (work conservation).
+	st, allocT = state(4, 3, 0)
+	Threshold{Cap: 0}.Allocate(st, allocT)
+	if allocT.Inelastic[0] != 1 {
+		t.Fatal("Threshold(0) idles servers with no elastic jobs")
+	}
+	// Intermediate cap.
+	st, allocT = state(4, 3, 1)
+	Threshold{Cap: 2}.Allocate(st, allocT)
+	if allocT.Inelastic[0] != 1 || allocT.Inelastic[1] != 1 || allocT.Inelastic[2] != 0 {
+		t.Fatalf("Threshold(2) inelastic %v", allocT.Inelastic)
+	}
+	if allocT.Elastic[0] != 2 {
+		t.Fatalf("Threshold(2) elastic %v", allocT.Elastic)
+	}
+}
+
+func TestDeferElasticIdles(t *testing.T) {
+	st, alloc := state(4, 1, 1)
+	DeferElastic{}.Allocate(st, alloc)
+	if alloc.Inelastic[0] != 1 || alloc.Elastic[0] != 0 {
+		t.Fatalf("DeferElastic alloc I=%v E=%v", alloc.Inelastic, alloc.Elastic)
+	}
+	if totalAlloc(alloc) != 1 {
+		t.Fatal("DeferElastic should idle 3 servers here")
+	}
+	st, alloc = state(4, 0, 2)
+	DeferElastic{}.Allocate(st, alloc)
+	if alloc.Elastic[0] != 4 {
+		t.Fatal("DeferElastic must serve elastic when no inelastic present")
+	}
+}
+
+func TestSRPTKOrdersBySize(t *testing.T) {
+	st := &sim.State{K: 4}
+	st.Inelastic = []*sim.Job{
+		{ID: 0, Remaining: 5},
+		{ID: 1, Remaining: 0.5},
+	}
+	st.Elastic = []*sim.Job{{ID: 2, Remaining: 2}}
+	alloc := &sim.Allocation{Inelastic: make([]float64, 2), Elastic: make([]float64, 1)}
+	SRPTK{}.Allocate(st, alloc)
+	// Order: inelastic(0.5) first (1 server), elastic(2) next (3 servers),
+	// inelastic(5) starved.
+	if alloc.Inelastic[1] != 1 || alloc.Elastic[0] != 3 || alloc.Inelastic[0] != 0 {
+		t.Fatalf("SRPT-k alloc I=%v E=%v", alloc.Inelastic, alloc.Elastic)
+	}
+}
+
+// TestAllPoliciesFeasible drives every policy through a randomized state
+// space checking the model constraints the engine enforces.
+func TestAllPoliciesFeasible(t *testing.T) {
+	policies := []sim.Policy{
+		InelasticFirst{}, ElasticFirst{}, FCFS{}, Equi{},
+		Greedy{MuI: 1, MuE: 2}, Greedy{MuI: 2, MuE: 1},
+		Threshold{Cap: 0}, Threshold{Cap: 2}, Threshold{Cap: 4},
+		DeferElastic{}, SRPTK{},
+	}
+	for _, p := range policies {
+		for k := 1; k <= 6; k++ {
+			for i := 0; i <= 2*k; i++ {
+				for j := 0; j <= 2*k; j++ {
+					st, alloc := state(k, i, j)
+					p.Allocate(st, alloc)
+					total := 0.0
+					for _, v := range alloc.Inelastic {
+						if v < 0 || v > 1+1e-12 {
+							t.Fatalf("%s k=%d (%d,%d): inelastic alloc %v", p.Name(), k, i, j, v)
+						}
+						total += v
+					}
+					for _, v := range alloc.Elastic {
+						if v < 0 {
+							t.Fatalf("%s k=%d (%d,%d): negative elastic alloc", p.Name(), k, i, j)
+						}
+						total += v
+					}
+					if total > float64(k)+1e-9 {
+						t.Fatalf("%s k=%d (%d,%d): total alloc %v > k", p.Name(), k, i, j, total)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWorkConservingPolicies checks the Section 2 work-conservation
+// definition for the policies in class P: with elastic jobs present all k
+// servers run; without, min(i, k) servers run.
+func TestWorkConservingPolicies(t *testing.T) {
+	policies := []sim.Policy{
+		InelasticFirst{}, ElasticFirst{}, FCFS{},
+		Threshold{Cap: 0}, Threshold{Cap: 1}, Threshold{Cap: 3}, Threshold{Cap: 4},
+		SRPTK{},
+	}
+	k := 4
+	for _, p := range policies {
+		for i := 0; i <= 8; i++ {
+			for j := 0; j <= 8; j++ {
+				st, alloc := state(k, i, j)
+				// SRPTK sorts by Remaining; give jobs distinct sizes.
+				for n, jb := range st.Inelastic {
+					jb.Remaining = 1 + float64(n)
+				}
+				for n, jb := range st.Elastic {
+					jb.Remaining = 0.5 + float64(n)
+				}
+				p.Allocate(st, alloc)
+				total := totalAlloc(alloc)
+				var want float64
+				if j > 0 {
+					want = float64(k)
+				} else {
+					want = math.Min(float64(i), float64(k))
+				}
+				if math.Abs(total-want) > 1e-9 {
+					t.Fatalf("%s (i=%d,j=%d): total %v, work conservation wants %v", p.Name(), i, j, total, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package qbd solves quasi-birth-death Markov chains with matrix-analytic
+// methods — the Section 5.3 machinery of the paper.
+//
+// A QBD is a CTMC whose states factor into a level (unbounded, here the
+// queue length of one job class) and a phase (finite, here the busy-period
+// Coxian stage plus any boundary structure). For levels at and above a
+// repeating threshold the generator blocks are level-independent:
+//
+//	A0 (level up), A1 (local, with diagonal), A2 (level down).
+//
+// The stationary vector then has the matrix-geometric form
+// pi_{r+n} = pi_r R^n, where R is the minimal nonnegative solution of
+// A0 + R A1 + R^2 A2 = 0. This package computes R by functional iteration
+// (the default) or by logarithmic reduction (the ablation variant), solves
+// the finite boundary system, and exposes level moments in closed form.
+package qbd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrNotConverged reports that an R-matrix iteration hit its cap.
+var ErrNotConverged = errors.New("qbd: R iteration did not converge")
+
+// ErrUnstable reports sp(R) >= 1, i.e. the chain has no stationary
+// distribution.
+var ErrUnstable = errors.New("qbd: spectral radius of R is >= 1 (unstable chain)")
+
+// BoundaryLevel holds the generator blocks of one non-repeating level l:
+// U maps level l to l+1, Local is the within-level block including the
+// diagonal, and D maps level l to l-1 (nil for level 0).
+type BoundaryLevel struct {
+	U, Local, D *linalg.Matrix
+}
+
+// Chain is a QBD specification. Boundary lists levels 0..len(Boundary)-1;
+// levels >= len(Boundary) repeat with blocks A0, A1, A2. The level
+// len(Boundary) is the first repeating level; its inbound down-block (from
+// level len(Boundary)+1) is A2 and its inbound up-block is the last boundary
+// level's U.
+type Chain struct {
+	Phases     int
+	Boundary   []BoundaryLevel
+	A0, A1, A2 *linalg.Matrix
+}
+
+// Validate checks block shapes and that every level's generator rows sum to
+// zero (within tol), which catches most construction bugs immediately.
+func (c *Chain) Validate(tol float64) error {
+	m := c.Phases
+	if m <= 0 {
+		return fmt.Errorf("qbd: non-positive phase count")
+	}
+	check := func(name string, mat *linalg.Matrix) error {
+		if mat == nil {
+			return fmt.Errorf("qbd: missing block %s", name)
+		}
+		if mat.Rows != m || mat.Cols != m {
+			return fmt.Errorf("qbd: block %s is %dx%d, want %dx%d", name, mat.Rows, mat.Cols, m, m)
+		}
+		return nil
+	}
+	for _, name := range []string{"A0", "A1", "A2"} {
+		var mat *linalg.Matrix
+		switch name {
+		case "A0":
+			mat = c.A0
+		case "A1":
+			mat = c.A1
+		case "A2":
+			mat = c.A2
+		}
+		if err := check(name, mat); err != nil {
+			return err
+		}
+	}
+	if len(c.Boundary) == 0 {
+		return fmt.Errorf("qbd: need at least boundary level 0")
+	}
+	// Row sums per level.
+	rowSums := func(mats ...*linalg.Matrix) []float64 {
+		sums := make([]float64, m)
+		for _, mat := range mats {
+			if mat == nil {
+				continue
+			}
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					sums[i] += mat.At(i, j)
+				}
+			}
+		}
+		return sums
+	}
+	for l, b := range c.Boundary {
+		if err := check(fmt.Sprintf("Boundary[%d].U", l), b.U); err != nil {
+			return err
+		}
+		if err := check(fmt.Sprintf("Boundary[%d].Local", l), b.Local); err != nil {
+			return err
+		}
+		if l == 0 {
+			if b.D != nil {
+				return fmt.Errorf("qbd: level 0 cannot have a down block")
+			}
+		} else if err := check(fmt.Sprintf("Boundary[%d].D", l), b.D); err != nil {
+			return err
+		}
+		for i, s := range rowSums(b.U, b.Local, b.D) {
+			if math.Abs(s) > tol {
+				return fmt.Errorf("qbd: boundary level %d row %d sums to %g", l, i, s)
+			}
+		}
+	}
+	for i, s := range rowSums(c.A0, c.A1, c.A2) {
+		if math.Abs(s) > tol {
+			return fmt.Errorf("qbd: repeating row %d sums to %g", i, s)
+		}
+	}
+	return nil
+}
+
+// RMethod selects the algorithm used to compute the rate matrix R.
+type RMethod int
+
+const (
+	// FunctionalIteration iterates R <- -(A0 + R^2 A2) A1^{-1}; simple
+	// and robust, linear convergence.
+	FunctionalIteration RMethod = iota
+	// LogarithmicReduction converges quadratically; the ablation
+	// benchmark compares it against functional iteration.
+	LogarithmicReduction
+)
+
+// SolveR computes the minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0.
+func SolveR(a0, a1, a2 *linalg.Matrix, method RMethod, tol float64, maxIter int) (*linalg.Matrix, error) {
+	switch method {
+	case FunctionalIteration:
+		return solveRIteration(a0, a1, a2, tol, maxIter)
+	case LogarithmicReduction:
+		return solveRLogReduction(a0, a1, a2, tol, maxIter)
+	}
+	return nil, fmt.Errorf("qbd: unknown R method %d", method)
+}
+
+func solveRIteration(a0, a1, a2 *linalg.Matrix, tol float64, maxIter int) (*linalg.Matrix, error) {
+	negA1Inv, err := linalg.Inverse(linalg.Scale(-1, a1))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: A1 singular: %w", err)
+	}
+	r := linalg.Mul(a0, negA1Inv) // R_1 with R_0 = 0
+	for iter := 0; iter < maxIter; iter++ {
+		next := linalg.Mul(linalg.AddM(a0, linalg.Mul(linalg.Mul(r, r), a2)), negA1Inv)
+		if linalg.MaxAbsDiff(next, r) < tol {
+			return next, nil
+		}
+		r = next
+	}
+	return nil, ErrNotConverged
+}
+
+// solveRLogReduction implements the logarithmic-reduction algorithm of
+// Latouche & Ramaswami for the G matrix, then converts to R via
+// R = A0 (-A1 - A0 G)^{-1}.
+func solveRLogReduction(a0, a1, a2 *linalg.Matrix, tol float64, maxIter int) (*linalg.Matrix, error) {
+	negA1Inv, err := linalg.Inverse(linalg.Scale(-1, a1))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: A1 singular: %w", err)
+	}
+	m := a0.Rows
+	// Note the orientation: for computing G (first passage to the level
+	// below), the "down" block drives the recursion.
+	h := linalg.Mul(negA1Inv, a0) // up
+	l := linalg.Mul(negA1Inv, a2) // down
+	g := l.Clone()
+	t := h.Clone()
+	for iter := 0; iter < maxIter; iter++ {
+		u := linalg.AddM(linalg.Mul(h, l), linalg.Mul(l, h))
+		iu, err := linalg.Inverse(linalg.SubM(linalg.Identity(m), u))
+		if err != nil {
+			return nil, fmt.Errorf("qbd: log-reduction pivot singular: %w", err)
+		}
+		h = linalg.Mul(iu, linalg.Mul(h, h))
+		l = linalg.Mul(iu, linalg.Mul(l, l))
+		gNext := linalg.AddM(g, linalg.Mul(t, l))
+		t = linalg.Mul(t, h)
+		if linalg.MaxAbsDiff(gNext, g) < tol {
+			g = gNext
+			break
+		}
+		g = gNext
+		if iter == maxIter-1 {
+			return nil, ErrNotConverged
+		}
+	}
+	denom, err := linalg.Inverse(linalg.Scale(-1, linalg.AddM(a1, linalg.Mul(a0, g))))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: R conversion singular: %w", err)
+	}
+	return linalg.Mul(a0, denom), nil
+}
+
+// Solution is the stationary distribution of a QBD chain.
+type Solution struct {
+	// Pi holds pi_0 .. pi_r where r = len(Boundary) is the first
+	// repeating level.
+	Pi [][]float64
+	// R is the rate matrix of the geometric tail.
+	R *linalg.Matrix
+	// IminusRInv caches (I-R)^{-1}.
+	IminusRInv *linalg.Matrix
+}
+
+// Solve computes the stationary distribution. method selects the R
+// algorithm.
+func (c *Chain) Solve(method RMethod) (*Solution, error) {
+	if err := c.Validate(1e-8); err != nil {
+		return nil, err
+	}
+	m := c.Phases
+	r, err := SolveR(c.A0, c.A1, c.A2, method, 1e-14, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+	if sp := linalg.SpectralRadius(r, 2000); sp >= 1-1e-10 {
+		return nil, fmt.Errorf("%w: sp(R)=%g", ErrUnstable, sp)
+	}
+	iminusRInv, err := linalg.Inverse(linalg.SubM(linalg.Identity(m), r))
+	if err != nil {
+		return nil, err
+	}
+
+	// Unknowns: pi_0..pi_rs stacked, rs = len(Boundary).
+	rs := len(c.Boundary)
+	n := (rs + 1) * m
+	a := linalg.NewMatrix(n, n) // transposed balance equations: a * x = b
+	b := make([]float64, n)
+
+	// Column block for the balance equations of level l:
+	//   sum_l' pi_l' Q_{l',l} = 0.
+	// Build as equations over x = (pi_0,...,pi_rs).
+	eq := 0
+	addBlock := func(eqBase int, varLevel int, block *linalg.Matrix) {
+		if block == nil {
+			return
+		}
+		for p := 0; p < m; p++ { // phase of varLevel (row of block)
+			for q := 0; q < m; q++ { // phase of equation level (col)
+				a.Add(eqBase+q, varLevel*m+p, block.At(p, q))
+			}
+		}
+	}
+	downInto := func(l int) *linalg.Matrix { // block from level l+1 down into l
+		if l+1 < rs {
+			return c.Boundary[l+1].D
+		}
+		return c.A2
+	}
+	localOf := func(l int) *linalg.Matrix {
+		if l < rs {
+			return c.Boundary[l].Local
+		}
+		return c.A1
+	}
+	upInto := func(l int) *linalg.Matrix { // block from level l-1 up into l
+		if l-1 < rs {
+			return c.Boundary[l-1].U
+		}
+		return c.A0
+	}
+	for l := 0; l <= rs; l++ {
+		base := eq
+		if l > 0 {
+			addBlock(base, l-1, upInto(l))
+		}
+		if l < rs {
+			addBlock(base, l, localOf(l))
+			if l+1 <= rs {
+				addBlock(base, l+1, downInto(l))
+			}
+		} else {
+			// Level rs balance folds the geometric tail:
+			// pi_{rs-1} U + pi_rs (A1 + R A2) = 0.
+			addBlock(base, rs, linalg.AddM(c.A1, linalg.Mul(r, c.A2)))
+		}
+		eq += m
+	}
+	// Replace the last equation with normalization:
+	// sum_{l<rs} pi_l 1 + pi_rs (I-R)^{-1} 1 = 1.
+	last := n - 1
+	for j := 0; j < n; j++ {
+		a.Set(last, j, 0)
+	}
+	for l := 0; l < rs; l++ {
+		for p := 0; p < m; p++ {
+			a.Set(last, l*m+p, 1)
+		}
+	}
+	rowSum1 := linalg.MulVec(iminusRInv, ones(m))
+	for p := 0; p < m; p++ {
+		a.Set(last, rs*m+p, rowSum1[p])
+	}
+	b[last] = 1
+
+	// The balance equations are transposed (variables are row vectors):
+	// we built sum_p x_p block[p][q] = 0, i.e. A^T x = b with our fill
+	// pattern, which is already what linalg.Solve expects.
+	x, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: boundary solve failed: %w", err)
+	}
+	sol := &Solution{R: r, IminusRInv: iminusRInv}
+	for l := 0; l <= rs; l++ {
+		sol.Pi = append(sol.Pi, x[l*m:(l+1)*m])
+	}
+	return sol, nil
+}
+
+// LevelProb returns the total stationary probability of level l.
+func (s *Solution) LevelProb(l int) float64 {
+	rs := len(s.Pi) - 1
+	if l < rs {
+		return sum(s.Pi[l])
+	}
+	// pi_{rs+n} = pi_rs R^n.
+	v := append([]float64(nil), s.Pi[rs]...)
+	for i := rs; i < l; i++ {
+		v = linalg.VecMul(v, s.R)
+	}
+	return sum(v)
+}
+
+// PhaseMarginal returns the stationary phase distribution aggregated over
+// all levels.
+func (s *Solution) PhaseMarginal() []float64 {
+	rs := len(s.Pi) - 1
+	m := len(s.Pi[0])
+	out := make([]float64, m)
+	for l := 0; l < rs; l++ {
+		for p, v := range s.Pi[l] {
+			out[p] += v
+		}
+	}
+	tail := linalg.VecMul(s.Pi[rs], s.IminusRInv)
+	for p, v := range tail {
+		out[p] += v
+	}
+	return out
+}
+
+// MeanLevel returns E[level] = sum_l l * P(level = l), evaluated in closed
+// form over the geometric tail:
+//
+//	sum_{l<rs} l pi_l 1 + pi_rs [ rs (I-R)^{-1} + R (I-R)^{-2} ] 1.
+func (s *Solution) MeanLevel() float64 {
+	rs := len(s.Pi) - 1
+	total := 0.0
+	for l := 0; l < rs; l++ {
+		total += float64(l) * sum(s.Pi[l])
+	}
+	m := len(s.Pi[0])
+	tailA := linalg.Scale(float64(rs), s.IminusRInv)
+	tailB := linalg.Mul(s.R, linalg.Mul(s.IminusRInv, s.IminusRInv))
+	weights := linalg.MulVec(linalg.AddM(tailA, tailB), ones(m))
+	for p, w := range weights {
+		total += s.Pi[rs][p] * w
+	}
+	return total
+}
+
+// TotalProb returns the total probability mass (should be 1); exposed for
+// verification in tests.
+func (s *Solution) TotalProb() float64 {
+	return sum(s.PhaseMarginal())
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func sum(v []float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}

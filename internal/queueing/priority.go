@@ -1,0 +1,60 @@
+package queueing
+
+// PreemptiveMM1 is a single-server queue with two classes under
+// preemptive-resume priority: class H (high) preempts class L (low), each
+// Poisson with exponential service.
+//
+// It is the k = 1 specialization of the paper's Elastic-First policy
+// (elastic jobs are the high-priority class) and therefore provides an
+// exact end-to-end oracle for the analysis pipeline at k = 1, with no
+// busy-period approximation in the way.
+type PreemptiveMM1 struct {
+	LambdaH, MuH float64
+	LambdaL, MuL float64
+}
+
+// NewPreemptiveMM1 returns the descriptor; it panics on non-positive rates.
+func NewPreemptiveMM1(lambdaH, muH, lambdaL, muL float64) PreemptiveMM1 {
+	if lambdaH <= 0 || muH <= 0 || lambdaL <= 0 || muL <= 0 {
+		panic("queueing: priority queue rates must be positive")
+	}
+	return PreemptiveMM1{LambdaH: lambdaH, MuH: muH, LambdaL: lambdaL, MuL: muL}
+}
+
+// RhoH returns the high-class load.
+func (q PreemptiveMM1) RhoH() float64 { return q.LambdaH / q.MuH }
+
+// Rho returns the total load.
+func (q PreemptiveMM1) Rho() float64 { return q.RhoH() + q.LambdaL/q.MuL }
+
+// Stable reports whether both classes are stable.
+func (q PreemptiveMM1) Stable() bool { return q.Rho() < 1 }
+
+// MeanResponseHigh returns E[T_H]: the high class sees a plain M/M/1.
+func (q PreemptiveMM1) MeanResponseHigh() float64 {
+	return NewMM1(q.LambdaH, q.MuH).MeanResponse()
+}
+
+// MeanResponseLow returns E[T_L] under preemptive-resume priority
+// (mean-value analysis; see Harchol-Balter, "Performance Modeling and
+// Design of Computer Systems", ch. 32):
+//
+//	E[T_L] = E[S_L]/(1-rhoH) + E[R]/((1-rhoH)(1-rhoH-rhoL)),
+//
+// where E[R] = lambdaH E[S_H^2]/2 + lambdaL E[S_L^2]/2 is the mean residual
+// work an arrival finds.
+func (q PreemptiveMM1) MeanResponseLow() float64 {
+	if !q.Stable() {
+		panic("queueing: unstable priority queue")
+	}
+	rhoH := q.RhoH()
+	rho := q.Rho()
+	meanResidual := q.LambdaH/(q.MuH*q.MuH) + q.LambdaL/(q.MuL*q.MuL)
+	return (1/q.MuL)/(1-rhoH) + meanResidual/((1-rhoH)*(1-rho))
+}
+
+// MeanResponse returns the overall arrival-weighted mean response time.
+func (q PreemptiveMM1) MeanResponse() float64 {
+	lh, ll := q.LambdaH, q.LambdaL
+	return (lh*q.MeanResponseHigh() + ll*q.MeanResponseLow()) / (lh + ll)
+}

@@ -1,0 +1,53 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPreemptiveHighClassIsMM1(t *testing.T) {
+	q := NewPreemptiveMM1(0.3, 1, 0.2, 0.5)
+	want := NewMM1(0.3, 1).MeanResponse()
+	if math.Abs(q.MeanResponseHigh()-want) > 1e-12 {
+		t.Fatalf("high class %v, want %v", q.MeanResponseHigh(), want)
+	}
+}
+
+func TestPreemptiveReducesToMM1WhenClassesEqual(t *testing.T) {
+	// With muH = muL the overall mean response time is the plain M/M/1
+	// value (scheduling order does not matter for exponential sizes with
+	// equal rates and a work-conserving server).
+	q := NewPreemptiveMM1(0.3, 1, 0.4, 1)
+	want := NewMM1(0.7, 1).MeanResponse()
+	if math.Abs(q.MeanResponse()-want) > 1e-12 {
+		t.Fatalf("overall %v, want M/M/1 %v", q.MeanResponse(), want)
+	}
+}
+
+func TestPreemptiveLowSlowerThanHigh(t *testing.T) {
+	q := NewPreemptiveMM1(0.3, 1, 0.3, 1)
+	if q.MeanResponseLow() <= q.MeanResponseHigh() {
+		t.Fatal("low class cannot be faster than high class at equal rates")
+	}
+}
+
+func TestPreemptiveLowLoadLimit(t *testing.T) {
+	// As both loads vanish, each class's response approaches its own
+	// service time.
+	q := NewPreemptiveMM1(1e-9, 2, 1e-9, 0.5)
+	if math.Abs(q.MeanResponseHigh()-0.5) > 1e-6 {
+		t.Fatalf("high %v, want 0.5", q.MeanResponseHigh())
+	}
+	if math.Abs(q.MeanResponseLow()-2) > 1e-6 {
+		t.Fatalf("low %v, want 2", q.MeanResponseLow())
+	}
+}
+
+func TestPreemptiveUnstablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unstable queue did not panic")
+		}
+	}()
+	NewPreemptiveMM1(0.8, 1, 0.5, 1).MeanResponseLow()
+}

@@ -1,0 +1,201 @@
+// Package queueing provides closed-form results from classical queueing
+// theory that the paper's analysis pipeline composes with matrix-analytic
+// solutions.
+//
+// Under Elastic-First, elastic jobs see an M/M/1 queue with service rate
+// k*muE (Observation 1 in Section 5.2); under Inelastic-First, inelastic
+// jobs see an M/M/k queue (Appendix D). The busy-period moments feed the
+// Coxian fit of the busy-period transformation. The same formulas double as
+// oracles for simulator and CTMC-solver tests.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 describes an M/M/1 queue with Poisson arrival rate Lambda and
+// exponential service rate Mu.
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// NewMM1 returns an M/M/1 descriptor; it panics unless both rates are
+// positive.
+func NewMM1(lambda, mu float64) MM1 {
+	if lambda <= 0 || mu <= 0 {
+		panic("queueing: M/M/1 rates must be positive")
+	}
+	return MM1{Lambda: lambda, Mu: mu}
+}
+
+// Rho returns the utilization lambda/mu.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether the queue is stable (rho < 1).
+func (q MM1) Stable() bool { return q.Rho() < 1 }
+
+// MeanJobs returns E[N] = rho/(1-rho). It panics when unstable.
+func (q MM1) MeanJobs() float64 {
+	q.mustBeStable()
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// MeanResponse returns E[T] = 1/(mu-lambda). It panics when unstable.
+func (q MM1) MeanResponse() float64 {
+	q.mustBeStable()
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// StationaryProb returns P{N = n} = (1-rho) rho^n.
+func (q MM1) StationaryProb(n int) float64 {
+	q.mustBeStable()
+	rho := q.Rho()
+	return (1 - rho) * math.Pow(rho, float64(n))
+}
+
+// BusyPeriodMoments returns the first three raw moments of the M/M/1 busy
+// period: the time from an arrival into an empty system until the system
+// next empties. These are the M/G/1 busy-period formulas specialized to
+// exponential service:
+//
+//	E[B]   = E[S]/(1-rho)
+//	E[B^2] = E[S^2]/(1-rho)^3
+//	E[B^3] = E[S^3]/(1-rho)^4 + 3 lambda E[S^2]^2/(1-rho)^5
+func (q MM1) BusyPeriodMoments() (m1, m2, m3 float64) {
+	q.mustBeStable()
+	rho := q.Rho()
+	s1 := 1 / q.Mu
+	s2 := 2 / (q.Mu * q.Mu)
+	s3 := 6 / (q.Mu * q.Mu * q.Mu)
+	m1 = s1 / (1 - rho)
+	m2 = s2 / math.Pow(1-rho, 3)
+	m3 = s3/math.Pow(1-rho, 4) + 3*q.Lambda*s2*s2/math.Pow(1-rho, 5)
+	return m1, m2, m3
+}
+
+func (q MM1) mustBeStable() {
+	if !q.Stable() {
+		panic(fmt.Sprintf("queueing: unstable M/M/1 (rho=%g)", q.Rho()))
+	}
+}
+
+// MMk describes an M/M/k queue: Poisson arrivals at rate Lambda, K servers,
+// each serving at exponential rate Mu, FCFS.
+type MMk struct {
+	Lambda, Mu float64
+	K          int
+}
+
+// NewMMk returns an M/M/k descriptor; it panics on non-positive parameters.
+func NewMMk(lambda, mu float64, k int) MMk {
+	if lambda <= 0 || mu <= 0 || k < 1 {
+		panic("queueing: M/M/k requires positive rates and k >= 1")
+	}
+	return MMk{Lambda: lambda, Mu: mu, K: k}
+}
+
+// Rho returns the per-server utilization lambda/(k*mu).
+func (q MMk) Rho() float64 { return q.Lambda / (float64(q.K) * q.Mu) }
+
+// Stable reports whether the queue is stable.
+func (q MMk) Stable() bool { return q.Rho() < 1 }
+
+// ErlangC returns the probability that an arriving job must queue,
+// P{wait > 0}, computed with the numerically stable iterative form of the
+// Erlang-C formula.
+func (q MMk) ErlangC() float64 {
+	q.mustBeStable()
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	k := q.K
+	// Iteratively compute the Erlang-B blocking probability, then convert.
+	b := 1.0
+	for i := 1; i <= k; i++ {
+		b = a * b / (float64(i) + a*b)
+	}
+	rho := q.Rho()
+	return b / (1 - rho*(1-b))
+}
+
+// MeanWait returns the mean queueing delay E[W] (time before service).
+func (q MMk) MeanWait() float64 {
+	q.mustBeStable()
+	return q.ErlangC() / (float64(q.K)*q.Mu - q.Lambda)
+}
+
+// MeanResponse returns E[T] = E[W] + 1/mu.
+func (q MMk) MeanResponse() float64 {
+	return q.MeanWait() + 1/q.Mu
+}
+
+// MeanJobs returns E[N] via Little's law.
+func (q MMk) MeanJobs() float64 {
+	return q.Lambda * q.MeanResponse()
+}
+
+// StationaryProb returns P{N = n} for the M/M/k birth-death chain.
+func (q MMk) StationaryProb(n int) float64 {
+	q.mustBeStable()
+	p0 := q.probEmpty()
+	a := q.Lambda / q.Mu
+	if n <= q.K {
+		return p0 * math.Pow(a, float64(n)) / factorialF(n)
+	}
+	return p0 * math.Pow(a, float64(n)) /
+		(factorialF(q.K) * math.Pow(float64(q.K), float64(n-q.K)))
+}
+
+func (q MMk) probEmpty() float64 {
+	a := q.Lambda / q.Mu
+	rho := q.Rho()
+	sum := 0.0
+	term := 1.0 // a^0/0!
+	for i := 0; i < q.K; i++ {
+		sum += term
+		term *= a / float64(i+1)
+	}
+	// term is now a^k/k!.
+	sum += term / (1 - rho)
+	return 1 / sum
+}
+
+func (q MMk) mustBeStable() {
+	if !q.Stable() {
+		panic(fmt.Sprintf("queueing: unstable M/M/k (rho=%g)", q.Rho()))
+	}
+}
+
+func factorialF(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// LittleN returns E[N] = lambda * E[T].
+func LittleN(lambda, meanResponse float64) float64 { return lambda * meanResponse }
+
+// LittleT returns E[T] = E[N] / lambda.
+func LittleT(lambda, meanJobs float64) float64 { return meanJobs / lambda }
+
+// SystemLoad returns the two-class load of the paper's model (Eq. 1):
+// rho = lambdaI/(k muI) + lambdaE/(k muE).
+func SystemLoad(k int, lambdaI, muI, lambdaE, muE float64) float64 {
+	return lambdaI/(float64(k)*muI) + lambdaE/(float64(k)*muE)
+}
+
+// RatesForLoad returns the per-class arrival rates (lambdaI, lambdaE) that
+// achieve total system load rho on k servers with lambdaI = lambdaE, the
+// convention used in every figure of the paper. From Eq. 1 with
+// lambdaI = lambdaE = lambda:
+//
+//	lambda = rho * k / (1/muI + 1/muE)
+func RatesForLoad(k int, rho, muI, muE float64) (lambdaI, lambdaE float64) {
+	if rho <= 0 || rho >= 1 {
+		panic("queueing: RatesForLoad requires 0 < rho < 1")
+	}
+	lambda := rho * float64(k) / (1/muI + 1/muE)
+	return lambda, lambda
+}

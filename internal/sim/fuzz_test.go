@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// chaosPolicy makes arbitrary feasible allocations that change with every
+// call: random subsets of inelastic jobs get random fractions of a server,
+// random elastic jobs share whatever remains. It exists to fuzz the engine
+// invariants under allocation patterns no sane policy would produce.
+type chaosPolicy struct {
+	r *xrand.Rand
+}
+
+func (chaosPolicy) Name() string { return "CHAOS" }
+
+func (c chaosPolicy) Allocate(st *State, alloc *Allocation) {
+	remaining := float64(st.K)
+	for i := range st.Inelastic {
+		if remaining <= 0 {
+			break
+		}
+		a := c.r.Float64() * math.Min(1, remaining)
+		if c.r.Bernoulli(0.3) {
+			a = 0 // sometimes starve a job outright
+		}
+		alloc.Inelastic[i] = a
+		remaining -= a
+	}
+	for i := range st.Elastic {
+		if remaining <= 0 {
+			break
+		}
+		a := c.r.Float64() * remaining
+		alloc.Elastic[i] = a
+		remaining -= a
+	}
+}
+
+// TestEngineInvariantsUnderChaos drives the engine with the chaos policy
+// and random arrivals, checking on every step: the clock never goes
+// backward, remaining sizes stay in [0, size], work accounting closes, and
+// every arrival eventually completes once the policy is replaced by a
+// work-conserving one for draining.
+func TestEngineInvariantsUnderChaos(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		r := xrand.NewStream(seed, 1)
+		sys := NewSystem(3, chaosPolicy{r: xrand.NewStream(seed, 2)})
+		clock := 0.0
+		arrived := 0.0
+		n := 0
+		for i := 0; i < 2000; i++ {
+			if sys.NumJobs() == 0 || r.Bernoulli(0.5) {
+				clock += r.Exp(2)
+				class := Inelastic
+				if r.Bernoulli(0.5) {
+					class = Elastic
+				}
+				size := r.Exp(1)
+				sys.Arrive(Arrival{Time: clock, Class: class, Size: size})
+				arrived += size
+				n++
+			} else {
+				clock += r.Exp(4)
+				sys.AdvanceTo(clock)
+			}
+			if sys.Clock() != clock {
+				t.Fatalf("seed %d: clock drift %v vs %v", seed, sys.Clock(), clock)
+			}
+			for _, jobs := range [][]*Job{sys.inelastic, sys.elastic} {
+				for _, j := range jobs {
+					if j.Remaining < 0 || j.Remaining > j.Size+1e-9 {
+						t.Fatalf("seed %d: remaining %v outside [0, %v]", seed, j.Remaining, j.Size)
+					}
+				}
+			}
+			if w := sys.Work(); w < -1e-9 {
+				t.Fatalf("seed %d: negative work %v", seed, w)
+			}
+		}
+		// Chaos can starve jobs forever; swap in a work-conserving policy
+		// to drain and close the ledger.
+		sys.policy = ifPolicy{}
+		sys.allocDirty = true
+		sys.Drain(clock + 1e7)
+		if sys.NumJobs() != 0 {
+			t.Fatalf("seed %d: %d jobs stuck after drain", seed, sys.NumJobs())
+		}
+		done := sys.Metrics().CompletedWork()
+		if math.Abs(done-arrived) > 1e-6*arrived {
+			t.Fatalf("seed %d: ledger broken: arrived %v, completed %v", seed, arrived, done)
+		}
+		if sys.Metrics().TotalCompletions() != int64(n) {
+			t.Fatalf("seed %d: %d completions for %d arrivals", seed, sys.Metrics().TotalCompletions(), n)
+		}
+	}
+}
+
+// TestCoupledChaosVsIF runs CompareWork with the chaos policy as the rival.
+// Chaos is not in class P (not work conserving, not FCFS), so total-work
+// dominance is not guaranteed by Theorem 3 — but the driver itself must
+// terminate and count consistently, which is what this test pins down.
+func TestCoupledChaosVsIF(t *testing.T) {
+	r := xrand.New(99)
+	var trace []Arrival
+	clock := 0.0
+	for i := 0; i < 500; i++ {
+		clock += r.Exp(2)
+		class := Inelastic
+		if r.Bernoulli(0.5) {
+			class = Elastic
+		}
+		trace = append(trace, Arrival{Time: clock, Class: class, Size: r.Exp(1)})
+	}
+	rep := CompareWork(3, trace, ifPolicy{}, chaosPolicy{r: xrand.New(5)}, 1e-7)
+	if rep.Checked == 0 {
+		t.Fatal("coupled driver did no checks")
+	}
+	if rep.CompletedA != 500 {
+		t.Fatalf("IF completed %d of 500", rep.CompletedA)
+	}
+}

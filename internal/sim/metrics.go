@@ -1,0 +1,195 @@
+package sim
+
+import "math"
+
+// Metrics accumulates time-average and per-completion statistics for one
+// System. Time averages (E[N], E[W], utilization) are exact integrals of the
+// piecewise-constant/linear sample paths between events; response-time
+// statistics are per completed job. Reset at the end of warmup to discard
+// the transient.
+type Metrics struct {
+	start   float64
+	elapsed float64
+
+	// Time integrals.
+	areaNI, areaNE float64
+	areaWI, areaWE float64
+	areaBusy       float64
+
+	// busyRate is the current total allocated server rate, maintained by
+	// the engine at each allocation change.
+	busyRate float64
+
+	arrivals    [2]int64
+	completions [2]int64
+	sumResp     [2]float64
+	sumRespSq   [2]float64
+	maxResp     [2]float64
+	// completedWork sums the sizes of completed jobs, closing the
+	// conservation ledger arrived = completed + remaining.
+	completedWork float64
+
+	// Occupancy histogram over (numInelastic, numElastic), time-weighted.
+	// Enabled with TrackOccupancy; states beyond occupancyCap fold into
+	// the cap boundary.
+	TrackOccupancy bool
+	occupancy      map[[2]int]float64
+}
+
+const occupancyCap = 4096
+
+// Reset clears all statistics and restarts the observation window at now.
+func (m *Metrics) Reset(now float64) {
+	track := m.TrackOccupancy
+	*m = Metrics{start: now, busyRate: m.busyRate, TrackOccupancy: track}
+	if track {
+		m.occupancy = make(map[[2]int]float64)
+	}
+}
+
+func (m *Metrics) integrate(s *System, dt float64) {
+	ni, ne := float64(s.NumInelastic()), float64(s.NumElastic())
+	m.areaNI += ni * dt
+	m.areaNE += ne * dt
+	// Between events each class's work declines linearly at its total
+	// allocated rate, so the exact integral over the segment is the
+	// trapezoid rule with the segment's constant depletion rate.
+	rI, rE := 0.0, 0.0
+	for _, j := range s.inelastic {
+		rI += j.rate
+	}
+	for _, j := range s.elastic {
+		rE += j.rate
+	}
+	m.areaWI += (s.WorkInelastic() - 0.5*rI*dt) * dt
+	m.areaWE += (s.WorkElastic() - 0.5*rE*dt) * dt
+	m.areaBusy += m.busyRate * dt
+	m.elapsed += dt
+	if m.TrackOccupancy {
+		key := [2]int{min(s.NumInelastic(), occupancyCap), min(s.NumElastic(), occupancyCap)}
+		m.occupancy[key] += dt
+	}
+}
+
+func (m *Metrics) recordCompletion(j *Job, now float64) {
+	resp := now - j.Arrival
+	c := j.Class
+	m.completions[c]++
+	m.sumResp[c] += resp
+	m.sumRespSq[c] += resp * resp
+	if resp > m.maxResp[c] {
+		m.maxResp[c] = resp
+	}
+	m.completedWork += j.Size
+}
+
+// CompletedWork returns the total size of jobs completed in the observation
+// window.
+func (m *Metrics) CompletedWork() float64 { return m.completedWork }
+
+// Elapsed returns the observed time span.
+func (m *Metrics) Elapsed() float64 { return m.elapsed }
+
+// Arrivals returns the number of arrivals of class c observed.
+func (m *Metrics) Arrivals(c Class) int64 { return m.arrivals[c] }
+
+// Completions returns the number of completions of class c observed.
+func (m *Metrics) Completions(c Class) int64 { return m.completions[c] }
+
+// TotalCompletions returns completions across both classes.
+func (m *Metrics) TotalCompletions() int64 {
+	return m.completions[Inelastic] + m.completions[Elastic]
+}
+
+// MeanResponse returns the mean response time of class c over completed
+// jobs. It returns NaN when no job of the class completed.
+func (m *Metrics) MeanResponse(c Class) float64 {
+	if m.completions[c] == 0 {
+		return math.NaN()
+	}
+	return m.sumResp[c] / float64(m.completions[c])
+}
+
+// MeanResponseAll returns the mean response time across both classes.
+func (m *Metrics) MeanResponseAll() float64 {
+	n := m.TotalCompletions()
+	if n == 0 {
+		return math.NaN()
+	}
+	return (m.sumResp[Inelastic] + m.sumResp[Elastic]) / float64(n)
+}
+
+// VarResponse returns the response-time variance for class c.
+func (m *Metrics) VarResponse(c Class) float64 {
+	n := float64(m.completions[c])
+	if n < 2 {
+		return math.NaN()
+	}
+	mean := m.sumResp[c] / n
+	return m.sumRespSq[c]/n - mean*mean
+}
+
+// MaxResponse returns the largest observed response time for class c.
+func (m *Metrics) MaxResponse(c Class) float64 { return m.maxResp[c] }
+
+// MeanJobs returns the time-average number of class-c jobs in system.
+func (m *Metrics) MeanJobs(c Class) float64 {
+	if m.elapsed == 0 {
+		return math.NaN()
+	}
+	if c == Inelastic {
+		return m.areaNI / m.elapsed
+	}
+	return m.areaNE / m.elapsed
+}
+
+// MeanJobsAll returns the time-average total number in system.
+func (m *Metrics) MeanJobsAll() float64 {
+	if m.elapsed == 0 {
+		return math.NaN()
+	}
+	return (m.areaNI + m.areaNE) / m.elapsed
+}
+
+// MeanWork returns the time-average remaining work of class c.
+func (m *Metrics) MeanWork(c Class) float64 {
+	if m.elapsed == 0 {
+		return math.NaN()
+	}
+	if c == Inelastic {
+		return m.areaWI / m.elapsed
+	}
+	return m.areaWE / m.elapsed
+}
+
+// MeanWorkAll returns the time-average total remaining work E[W].
+func (m *Metrics) MeanWorkAll() float64 {
+	if m.elapsed == 0 {
+		return math.NaN()
+	}
+	return (m.areaWI + m.areaWE) / m.elapsed
+}
+
+// Utilization returns the time-average fraction of the k servers busy.
+func (m *Metrics) Utilization(k int) float64 {
+	if m.elapsed == 0 {
+		return math.NaN()
+	}
+	return m.areaBusy / (m.elapsed * float64(k))
+}
+
+// OccupancyProb returns the time-weighted probability of state (i, j). It
+// returns 0 unless TrackOccupancy was set before the observation window.
+func (m *Metrics) OccupancyProb(i, j int) float64 {
+	if m.occupancy == nil || m.elapsed == 0 {
+		return 0
+	}
+	return m.occupancy[[2]int{i, j}] / m.elapsed
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// ResponseRecorder collects per-class response-time samples for percentile
+// reporting. Below Capacity samples per class it stores everything exactly;
+// beyond that it switches to reservoir sampling (Vitter's algorithm R), so
+// memory stays bounded on arbitrarily long runs while percentile estimates
+// remain unbiased.
+type ResponseRecorder struct {
+	Capacity int
+	rng      *xrand.Rand
+	samples  [2][]float64
+	seen     [2]int64
+}
+
+// NewResponseRecorder returns a recorder holding up to capacity samples per
+// class.
+func NewResponseRecorder(capacity int, seed uint64) *ResponseRecorder {
+	if capacity < 1 {
+		panic("sim: recorder capacity must be positive")
+	}
+	return &ResponseRecorder{Capacity: capacity, rng: xrand.NewStream(seed, 999)}
+}
+
+// Observe records one completion.
+func (rr *ResponseRecorder) Observe(c Completion) {
+	class := c.Job.Class
+	rr.seen[class]++
+	s := rr.samples[class]
+	if len(s) < rr.Capacity {
+		rr.samples[class] = append(s, c.Response())
+		return
+	}
+	// Reservoir replacement with probability capacity/seen.
+	idx := rr.rng.Intn(int(rr.seen[class]))
+	if idx < rr.Capacity {
+		s[idx] = c.Response()
+	}
+}
+
+// Seen returns the number of completions observed for the class.
+func (rr *ResponseRecorder) Seen(c Class) int64 { return rr.seen[c] }
+
+// Quantile returns the q-quantile of the recorded class-c response times
+// (NaN when empty).
+func (rr *ResponseRecorder) Quantile(c Class, q float64) float64 {
+	s := rr.samples[c]
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// QuantileAll returns the q-quantile across both classes.
+func (rr *ResponseRecorder) QuantileAll(q float64) float64 {
+	merged := append(append([]float64(nil), rr.samples[0]...), rr.samples[1]...)
+	if len(merged) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(merged)
+	pos := q * float64(len(merged)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return merged[lo]
+	}
+	frac := pos - float64(lo)
+	return merged[lo]*(1-frac) + merged[hi]*frac
+}
+
+// RunWithRecorder is sim.Run with a percentile recorder attached to the
+// post-warmup completion stream.
+func RunWithRecorder(cfg RunConfig, rr *ResponseRecorder) Result {
+	if cfg.Source == nil {
+		panic("sim: RunConfig.Source is nil")
+	}
+	if cfg.MaxJobs <= 0 {
+		panic("sim: RunConfig.MaxJobs must be positive")
+	}
+	sys := NewSystem(cfg.K, cfg.Policy)
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = math.Inf(1)
+	}
+	warmupDone := cfg.WarmupJobs == 0
+	for {
+		a, ok := cfg.Source.Next()
+		if !ok || a.Time > horizon {
+			break
+		}
+		for _, c := range sys.AdvanceTo(a.Time) {
+			if warmupDone {
+				rr.Observe(c)
+			}
+		}
+		if !warmupDone && sys.Metrics().TotalCompletions() >= cfg.WarmupJobs {
+			sys.ResetMetrics()
+			warmupDone = true
+		}
+		if warmupDone && sys.Metrics().TotalCompletions() >= cfg.MaxJobs {
+			break
+		}
+		sys.Arrive(a)
+	}
+	return snapshot(sys, cfg)
+}

@@ -1,0 +1,411 @@
+// Package sim implements the event-driven simulator for the paper's model:
+// k identical servers shared by elastic jobs (which parallelize linearly
+// across any number of servers, including fractional allocations) and
+// inelastic jobs (capped at one server each). An allocation policy is
+// re-consulted at every arrival and departure, exactly as in the paper's
+// preemptible fluid model.
+//
+// The engine exposes an explicit stepping API (Arrive / AdvanceTo) rather
+// than a closed run loop so that two systems under different policies can be
+// driven in lockstep over the same arrival sequence. That is how the
+// Theorem 3 sample-path dominance experiments couple Inelastic-First against
+// other policies: same arrivals, same sizes, work compared at the union of
+// both systems' event times.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class labels a job as elastic or inelastic.
+type Class int
+
+const (
+	// Inelastic jobs run on at most one server at a time.
+	Inelastic Class = iota
+	// Elastic jobs parallelize linearly across any allocation.
+	Elastic
+)
+
+// String returns "inelastic" or "elastic".
+func (c Class) String() string {
+	if c == Inelastic {
+		return "inelastic"
+	}
+	return "elastic"
+}
+
+// Arrival is one externally scheduled job arrival.
+type Arrival struct {
+	Time  float64
+	Class Class
+	Size  float64
+}
+
+// Job is a job resident in the system. Policies receive jobs in FCFS order
+// per class; the paper's policies are size-blind and must not read Remaining
+// (it is exposed for instrumentation and for known-size baselines only).
+type Job struct {
+	ID        int
+	Class     Class
+	Arrival   float64
+	Size      float64
+	Remaining float64
+	rate      float64 // current server allocation
+}
+
+// Rate returns the job's current server allocation.
+func (j *Job) Rate() float64 { return j.rate }
+
+// State is the scheduler-visible system state. Slices are in FCFS order and
+// owned by the System; policies must not retain or mutate them.
+type State struct {
+	K         int
+	Time      float64
+	Inelastic []*Job
+	Elastic   []*Job
+}
+
+// Allocation receives the policy's decision. Entries align with the State
+// slices. The engine zeroes the slices before each Allocate call.
+type Allocation struct {
+	Inelastic []float64
+	Elastic   []float64
+}
+
+// Policy decides server allocations. Implementations must satisfy the model
+// constraints: 0 <= alloc, inelastic allocations <= 1 each, total <= K.
+// The engine verifies these bounds on every call.
+type Policy interface {
+	Name() string
+	Allocate(st *State, alloc *Allocation)
+}
+
+// Completion records one finished job.
+type Completion struct {
+	Job      Job
+	Finished float64
+}
+
+// Response returns the job's response time.
+func (c Completion) Response() float64 { return c.Finished - c.Job.Arrival }
+
+// System is one simulated cluster under one policy.
+type System struct {
+	k      int
+	policy Policy
+	clock  float64
+	nextID int
+
+	inelastic []*Job
+	elastic   []*Job
+
+	st    State
+	alloc Allocation
+
+	metrics Metrics
+
+	// completionsBuf is reused across AdvanceTo calls.
+	completionsBuf []Completion
+
+	allocDirty bool
+}
+
+// NewSystem returns an empty system with k servers governed by policy.
+func NewSystem(k int, policy Policy) *System {
+	if k < 1 {
+		panic("sim: k must be >= 1")
+	}
+	if policy == nil {
+		panic("sim: nil policy")
+	}
+	s := &System{k: k, policy: policy}
+	s.st.K = k
+	s.metrics.Reset(0)
+	return s
+}
+
+// K returns the number of servers.
+func (s *System) K() int { return s.k }
+
+// Clock returns the current simulation time.
+func (s *System) Clock() float64 { return s.clock }
+
+// Policy returns the governing policy.
+func (s *System) Policy() Policy { return s.policy }
+
+// NumInelastic returns the number of inelastic jobs in system.
+func (s *System) NumInelastic() int { return len(s.inelastic) }
+
+// NumElastic returns the number of elastic jobs in system.
+func (s *System) NumElastic() int { return len(s.elastic) }
+
+// NumJobs returns the total number of jobs in system.
+func (s *System) NumJobs() int { return len(s.inelastic) + len(s.elastic) }
+
+// Work returns the total remaining work W(t).
+func (s *System) Work() float64 { return s.WorkInelastic() + s.WorkElastic() }
+
+// WorkInelastic returns the remaining inelastic work W_I(t).
+func (s *System) WorkInelastic() float64 {
+	w := 0.0
+	for _, j := range s.inelastic {
+		w += j.Remaining
+	}
+	return w
+}
+
+// WorkElastic returns the remaining elastic work W_E(t).
+func (s *System) WorkElastic() float64 {
+	w := 0.0
+	for _, j := range s.elastic {
+		w += j.Remaining
+	}
+	return w
+}
+
+// Metrics returns the accumulated metrics.
+func (s *System) Metrics() *Metrics { return &s.metrics }
+
+// ResetMetrics discards accumulated statistics (e.g. at the end of warmup)
+// without disturbing the system state.
+func (s *System) ResetMetrics() { s.metrics.Reset(s.clock) }
+
+// Arrive injects a job at the current clock. Size must be positive and the
+// arrival cannot be in the system's past.
+func (s *System) Arrive(a Arrival) *Job {
+	if a.Time < s.clock-1e-12 {
+		panic(fmt.Sprintf("sim: arrival at %v is before clock %v", a.Time, s.clock))
+	}
+	if a.Time > s.clock {
+		s.advanceClockOnly(a.Time)
+	}
+	if a.Size <= 0 {
+		panic("sim: job size must be positive")
+	}
+	j := &Job{ID: s.nextID, Class: a.Class, Arrival: s.clock, Size: a.Size, Remaining: a.Size}
+	s.nextID++
+	if a.Class == Inelastic {
+		s.inelastic = append(s.inelastic, j)
+	} else {
+		s.elastic = append(s.elastic, j)
+	}
+	s.metrics.arrivals[a.Class]++
+	s.allocDirty = true
+	return j
+}
+
+// AdvanceTo advances the simulation clock to time t, processing every
+// completion in (clock, t]. It returns the completions in chronological
+// order; the returned slice is reused by the next call.
+func (s *System) AdvanceTo(t float64) []Completion {
+	if t < s.clock-1e-12 {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before clock %v", t, s.clock))
+	}
+	s.completionsBuf = s.completionsBuf[:0]
+	for {
+		s.refreshAllocation()
+		done, tc := s.nextCompletion()
+		// Process every completion at or before t — including ones that
+		// land exactly on t or exactly on the current clock (simultaneous
+		// completions depleted by a previous advance), which would
+		// otherwise linger and stall lockstep drivers.
+		if done != nil && tc <= t {
+			s.advanceWork(tc - s.clock)
+			s.complete(done)
+			continue
+		}
+		if s.clock < t {
+			s.advanceWork(t - s.clock)
+		}
+		break
+	}
+	// Clamp accumulated floating error so coupled runs stay aligned.
+	s.clock = t
+	return s.completionsBuf
+}
+
+// Drain runs the system until it empties or the clock passes horizon,
+// returning all completions.
+func (s *System) Drain(horizon float64) []Completion {
+	var all []Completion
+	for s.NumJobs() > 0 && s.clock < horizon {
+		s.refreshAllocation()
+		done, tc := s.nextCompletion()
+		if done == nil || tc > horizon {
+			s.advanceWork(horizon - s.clock)
+			s.clock = horizon
+			break
+		}
+		s.advanceWork(tc - s.clock)
+		s.clock = tc
+		s.completionsBuf = s.completionsBuf[:0]
+		s.complete(done)
+		all = append(all, s.completionsBuf...)
+	}
+	return all
+}
+
+// advanceClockOnly integrates metrics and work up to t assuming no
+// completion occurs strictly before t; callers must guarantee that.
+func (s *System) advanceClockOnly(t float64) {
+	for s.clock < t {
+		s.refreshAllocation()
+		done, tc := s.nextCompletion()
+		if done == nil || tc >= t {
+			s.advanceWork(t - s.clock)
+			break
+		}
+		s.advanceWork(tc - s.clock)
+		s.complete(done)
+	}
+	s.clock = t
+}
+
+// refreshAllocation re-runs the policy if the job set changed.
+func (s *System) refreshAllocation() {
+	if !s.allocDirty {
+		return
+	}
+	s.allocDirty = false
+	s.st.Time = s.clock
+	s.st.Inelastic = s.inelastic
+	s.st.Elastic = s.elastic
+	s.alloc.Inelastic = resizeZero(s.alloc.Inelastic, len(s.inelastic))
+	s.alloc.Elastic = resizeZero(s.alloc.Elastic, len(s.elastic))
+	s.policy.Allocate(&s.st, &s.alloc)
+	s.applyAllocation()
+}
+
+func resizeZero(sl []float64, n int) []float64 {
+	if cap(sl) < n {
+		sl = make([]float64, n)
+	}
+	sl = sl[:n]
+	for i := range sl {
+		sl[i] = 0
+	}
+	return sl
+}
+
+func (s *System) applyAllocation() {
+	const eps = 1e-9
+	total := 0.0
+	for i, j := range s.inelastic {
+		a := s.alloc.Inelastic[i]
+		if a < -eps || a > 1+eps {
+			panic(fmt.Sprintf("sim: policy %s allocated %v servers to inelastic job", s.policy.Name(), a))
+		}
+		a = clamp(a, 0, 1)
+		j.rate = a
+		total += a
+	}
+	for i, j := range s.elastic {
+		a := s.alloc.Elastic[i]
+		if a < -eps {
+			panic(fmt.Sprintf("sim: policy %s allocated negative servers", s.policy.Name()))
+		}
+		if a < 0 {
+			a = 0
+		}
+		j.rate = a
+		total += a
+	}
+	if total > float64(s.k)+1e-6 {
+		panic(fmt.Sprintf("sim: policy %s allocated %v servers on a %d-server system", s.policy.Name(), total, s.k))
+	}
+	s.metrics.busyRate = math.Min(total, float64(s.k))
+}
+
+// nextCompletion returns the next finishing job under current rates and its
+// absolute finish time, or (nil, +inf) when nothing is running.
+func (s *System) nextCompletion() (*Job, float64) {
+	best := math.Inf(1)
+	var job *Job
+	scan := func(jobs []*Job) {
+		for _, j := range jobs {
+			var t float64
+			switch {
+			case j.Remaining <= 0:
+				// Fully depleted but not yet removed (possible when
+				// an allocation change lands exactly on a finish
+				// time): completes immediately.
+				t = s.clock
+			case j.rate > 0:
+				t = s.clock + j.Remaining/j.rate
+			default:
+				continue
+			}
+			if t < best {
+				best, job = t, j
+			}
+		}
+	}
+	scan(s.inelastic)
+	scan(s.elastic)
+	return job, best
+}
+
+// advanceWork depletes remaining sizes over dt at current rates and
+// integrates metrics.
+func (s *System) advanceWork(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	s.metrics.integrate(s, dt)
+	for _, j := range s.inelastic {
+		if j.rate > 0 {
+			j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
+		}
+	}
+	for _, j := range s.elastic {
+		if j.rate > 0 {
+			j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
+		}
+	}
+	s.clock += dt
+}
+
+func (s *System) complete(j *Job) {
+	j.Remaining = 0
+	removed := false
+	if j.Class == Inelastic {
+		s.inelastic, removed = removeJob(s.inelastic, j)
+	} else {
+		s.elastic, removed = removeJob(s.elastic, j)
+	}
+	if !removed {
+		panic("sim: completing job not found in system")
+	}
+	s.completionsBuf = append(s.completionsBuf, Completion{Job: *j, Finished: s.clock})
+	s.metrics.recordCompletion(j, s.clock)
+	s.allocDirty = true
+}
+
+func removeJob(jobs []*Job, j *Job) ([]*Job, bool) {
+	for i, cand := range jobs {
+		if cand == j {
+			copy(jobs[i:], jobs[i+1:])
+			return jobs[:len(jobs)-1], true
+		}
+	}
+	return jobs, false
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SortArrivals orders arrivals by time (stable), as required by Replay and
+// the coupled-run drivers.
+func SortArrivals(arrivals []Arrival) {
+	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Time < arrivals[j].Time })
+}

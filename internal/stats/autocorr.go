@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// Autocorrelation returns the lag-h sample autocorrelation of the series.
+// It returns NaN for degenerate inputs (constant series, h out of range).
+func Autocorrelation(series []float64, h int) float64 {
+	n := len(series)
+	if h < 0 || h >= n || n < 2 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n-h; i++ {
+		num += (series[i] - mean) * (series[i+h] - mean)
+	}
+	for _, v := range series {
+		den += (v - mean) * (v - mean)
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// IntegratedAutocorrTime estimates the integrated autocorrelation time
+// tau = 1 + 2 sum_h rho(h), truncating the sum at the first non-positive
+// autocorrelation (Geyer's initial positive sequence heuristic, simplified).
+// Response-time sequences from the simulator are strongly correlated at
+// high load; tau quantifies how much, and n/tau is the effective sample
+// size behind a confidence interval.
+func IntegratedAutocorrTime(series []float64) float64 {
+	n := len(series)
+	if n < 4 {
+		return math.NaN()
+	}
+	tau := 1.0
+	for h := 1; h < n/2; h++ {
+		rho := Autocorrelation(series, h)
+		if math.IsNaN(rho) || rho <= 0 {
+			break
+		}
+		tau += 2 * rho
+	}
+	return tau
+}
+
+// EffectiveSampleSize returns n/tau.
+func EffectiveSampleSize(series []float64) float64 {
+	tau := IntegratedAutocorrTime(series)
+	if math.IsNaN(tau) || tau <= 0 {
+		return math.NaN()
+	}
+	return float64(len(series)) / tau
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func ar1(r *xrand.Rand, n int, phi float64) []float64 {
+	out := make([]float64, n)
+	x := 0.0
+	for i := range out {
+		x = phi*x + r.Normal()
+		out[i] = x
+	}
+	return out
+}
+
+func TestAutocorrelationLagZeroIsOne(t *testing.T) {
+	r := xrand.New(1)
+	s := ar1(r, 1000, 0.5)
+	if math.Abs(Autocorrelation(s, 0)-1) > 1e-12 {
+		t.Fatalf("rho(0) = %v", Autocorrelation(s, 0))
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	// AR(1) with coefficient phi has rho(h) = phi^h.
+	r := xrand.New(2)
+	s := ar1(r, 200000, 0.7)
+	for h := 1; h <= 4; h++ {
+		want := math.Pow(0.7, float64(h))
+		got := Autocorrelation(s, h)
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("rho(%d) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestAutocorrelationIIDNearZero(t *testing.T) {
+	r := xrand.New(3)
+	s := make([]float64, 100000)
+	for i := range s {
+		s[i] = r.Normal()
+	}
+	if rho := Autocorrelation(s, 1); math.Abs(rho) > 0.01 {
+		t.Fatalf("iid rho(1) = %v", rho)
+	}
+}
+
+func TestIntegratedAutocorrTimeAR1(t *testing.T) {
+	// tau for AR(1) is (1+phi)/(1-phi): phi=0.5 -> 3.
+	r := xrand.New(4)
+	s := ar1(r, 400000, 0.5)
+	tau := IntegratedAutocorrTime(s)
+	if math.Abs(tau-3) > 0.3 {
+		t.Fatalf("tau = %v, want about 3", tau)
+	}
+	ess := EffectiveSampleSize(s)
+	if math.Abs(ess-float64(len(s))/tau) > 1e-9 {
+		t.Fatalf("ESS inconsistent: %v", ess)
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if !math.IsNaN(Autocorrelation([]float64{1, 1, 1}, 1)) {
+		t.Fatal("constant series should be NaN")
+	}
+	if !math.IsNaN(Autocorrelation([]float64{1, 2}, 5)) {
+		t.Fatal("out-of-range lag should be NaN")
+	}
+	if !math.IsNaN(IntegratedAutocorrTime([]float64{1, 2})) {
+		t.Fatal("tiny series should be NaN")
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload generates the arrival processes fed to the simulator:
+// the paper's two-class Poisson/exponential model, plus the motivating
+// scenario presets of Section 1.3 (MapReduce, ML platforms, HPC malleable
+// jobs) used by the example programs.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Model is the paper's stochastic model: independent Poisson arrivals for
+// each class with exponential sizes.
+type Model struct {
+	K                int
+	LambdaI, LambdaE float64
+	MuI, MuE         float64
+}
+
+// NewModel returns a validated model; it panics on non-positive parameters.
+func NewModel(k int, lambdaI, muI, lambdaE, muE float64) Model {
+	m := Model{K: k, LambdaI: lambdaI, LambdaE: lambdaE, MuI: muI, MuE: muE}
+	m.mustValidate()
+	return m
+}
+
+// ModelForLoad returns the model with total load rho on k servers and
+// lambdaI = lambdaE, the convention used by every figure in the paper.
+func ModelForLoad(k int, rho, muI, muE float64) Model {
+	lI, lE := queueing.RatesForLoad(k, rho, muI, muE)
+	return NewModel(k, lI, muI, lE, muE)
+}
+
+func (m Model) mustValidate() {
+	if m.K < 1 || m.LambdaI <= 0 || m.LambdaE <= 0 || m.MuI <= 0 || m.MuE <= 0 {
+		panic(fmt.Sprintf("workload: invalid model %+v", m))
+	}
+}
+
+// Rho returns the system load of Eq. 1.
+func (m Model) Rho() float64 {
+	return queueing.SystemLoad(m.K, m.LambdaI, m.MuI, m.LambdaE, m.MuE)
+}
+
+// Stable reports whether rho < 1.
+func (m Model) Stable() bool { return m.Rho() < 1 }
+
+// Source returns an unbounded streaming arrival source for the model.
+// Separate RNG streams drive each class's arrival process and size draws,
+// so changing one parameter never perturbs the other class's sample path.
+func (m Model) Source(seed uint64) *PoissonSource {
+	m.mustValidate()
+	return &PoissonSource{
+		classes: [2]classStream{
+			{rateArr: m.LambdaI, size: dist.NewExponential(m.MuI),
+				arrRng: xrand.NewStream(seed, 1), sizeRng: xrand.NewStream(seed, 2)},
+			{rateArr: m.LambdaE, size: dist.NewExponential(m.MuE),
+				arrRng: xrand.NewStream(seed, 3), sizeRng: xrand.NewStream(seed, 4)},
+		},
+	}
+}
+
+// Trace materializes the first n arrivals as a slice for replay/coupling.
+func (m Model) Trace(seed uint64, n int) []sim.Arrival {
+	src := m.Source(seed)
+	out := make([]sim.Arrival, 0, n)
+	for len(out) < n {
+		a, _ := src.Next()
+		out = append(out, a)
+	}
+	return out
+}
+
+type classStream struct {
+	rateArr  float64
+	size     dist.Distribution
+	arrRng   *xrand.Rand
+	sizeRng  *xrand.Rand
+	nextTime float64
+	primed   bool
+}
+
+func (c *classStream) peek() float64 {
+	if !c.primed {
+		c.nextTime += c.arrRng.Exp(c.rateArr)
+		c.primed = true
+	}
+	return c.nextTime
+}
+
+func (c *classStream) pop() float64 {
+	t := c.peek()
+	c.primed = false
+	return t
+}
+
+// PoissonSource merges the two class streams into one time-ordered arrival
+// stream. It implements sim.ArrivalSource and never ends.
+type PoissonSource struct {
+	classes [2]classStream
+}
+
+// Next implements sim.ArrivalSource.
+func (p *PoissonSource) Next() (sim.Arrival, bool) {
+	ci := sim.Inelastic
+	if p.classes[sim.Elastic].peek() < p.classes[sim.Inelastic].peek() {
+		ci = sim.Elastic
+	}
+	c := &p.classes[ci]
+	t := c.pop()
+	return sim.Arrival{Time: t, Class: sim.Class(ci), Size: c.size.Sample(c.sizeRng)}, true
+}
+
+// Scenario is a named workload preset with general size distributions, used
+// by the example programs to mimic the mixes described in Section 1.3.
+type Scenario struct {
+	Name             string
+	LambdaI, LambdaE float64
+	SizeI, SizeE     dist.Distribution
+}
+
+// Source returns a streaming source for the scenario.
+func (s Scenario) Source(seed uint64) sim.ArrivalSource {
+	return &scenarioSource{
+		classes: [2]classStream{
+			{rateArr: s.LambdaI, size: s.SizeI,
+				arrRng: xrand.NewStream(seed, 11), sizeRng: xrand.NewStream(seed, 12)},
+			{rateArr: s.LambdaE, size: s.SizeE,
+				arrRng: xrand.NewStream(seed, 13), sizeRng: xrand.NewStream(seed, 14)},
+		},
+	}
+}
+
+// Rho returns the scenario's offered load on k servers.
+func (s Scenario) Rho(k int) float64 {
+	return (s.LambdaI*s.SizeI.Mean() + s.LambdaE*s.SizeE.Mean()) / float64(k)
+}
+
+type scenarioSource struct {
+	classes [2]classStream
+}
+
+func (p *scenarioSource) Next() (sim.Arrival, bool) {
+	ci := sim.Inelastic
+	if p.classes[sim.Elastic].peek() < p.classes[sim.Inelastic].peek() {
+		ci = sim.Elastic
+	}
+	c := &p.classes[ci]
+	t := c.pop()
+	return sim.Arrival{Time: t, Class: sim.Class(ci), Size: c.size.Sample(c.sizeRng)}, true
+}
+
+// MapReduce models the cluster of Section 1.3: map stages are elastic with
+// large exponential sizes, reduce stages are inelastic and much smaller.
+// elasticWork controls how much larger map stages are (the paper's "common
+// case" has elasticWork > 1). Load rho is offered on k servers with equal
+// arrival rates per class.
+func MapReduce(k int, rho, elasticWork float64) Scenario {
+	if elasticWork <= 0 {
+		panic("workload: elasticWork must be positive")
+	}
+	meanI := 1.0
+	meanE := elasticWork
+	lambda := rho * float64(k) / (meanI + meanE)
+	return Scenario{
+		Name:    "mapreduce",
+		LambdaI: lambda, LambdaE: lambda,
+		SizeI: dist.NewExponential(1 / meanI),
+		SizeE: dist.NewExponential(1 / meanE),
+	}
+}
+
+// MLPlatform models a shared training/serving cluster: elastic training jobs
+// with heavy-tailed sizes and frequent tiny inelastic inference requests.
+func MLPlatform(k int, rho float64) Scenario {
+	// Serving requests are ~50x more frequent and ~100x smaller.
+	sizeI := dist.NewExponential(20)           // mean 0.05
+	sizeE := dist.NewBoundedPareto(1.5, 1, 64) // heavy-tailed training
+	lambdaI := 50.0
+	loadI := lambdaI * sizeI.Mean()
+	loadE := rho*float64(k) - loadI
+	if loadE <= 0 {
+		panic("workload: MLPlatform rho too small for the serving load")
+	}
+	return Scenario{
+		Name:    "mlplatform",
+		LambdaI: lambdaI, LambdaE: loadE / sizeE.Mean(),
+		SizeI: sizeI, SizeE: sizeE,
+	}
+}
+
+// HPCMalleable models the HPC setting of Section 1.3 where malleable
+// (elastic) jobs are *smaller* than rigid (inelastic) ones — the muI < muE
+// regime where Elastic-First can win (Theorem 6).
+func HPCMalleable(k int, rho float64) Scenario {
+	meanI := 4.0 // rigid jobs: long-running solvers
+	meanE := 1.0 // malleable jobs
+	lambda := rho * float64(k) / (meanI + meanE)
+	return Scenario{
+		Name:    "hpcmalleable",
+		LambdaI: lambda, LambdaE: lambda,
+		SizeI: dist.NewExponential(1 / meanI),
+		SizeE: dist.NewExponential(1 / meanE),
+	}
+}
+
+// BatchJob is one job of a batch (time-zero) instance for the Appendix A
+// experiments.
+type BatchJob struct {
+	Size float64
+	Cap  int // parallelizability bound k_j
+}
+
+// RandomBatch draws n batch jobs with sizes from sizeDist and caps uniform
+// in [1, maxCap].
+func RandomBatch(r *xrand.Rand, n int, sizeDist dist.Distribution, maxCap int) []BatchJob {
+	jobs := make([]BatchJob, n)
+	for i := range jobs {
+		jobs[i] = BatchJob{Size: sizeDist.Sample(r), Cap: 1 + r.Intn(maxCap)}
+	}
+	return jobs
+}
+
+// Horizon estimates a simulation horizon long enough for n arrivals from
+// the model (used to bound Drain calls).
+func (m Model) Horizon(n int) float64 {
+	return 2 * float64(n) / (m.LambdaI + m.LambdaE) * math.Max(1, 1/(1-m.Rho()))
+}

@@ -1,0 +1,312 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different streams produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	child := parent.Split()
+	// The child must not replay the parent's sequence.
+	p2 := New(5)
+	p2.Uint64()
+	p2.Uint64() // Split consumed two parent draws.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p2.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("split child tracks parent sequence (%d/100 collisions)", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		o := r.Float64Open()
+		if o <= 0 || o >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", o)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) returned %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/7.0) > 5*math.Sqrt(n/7.0) {
+			t.Fatalf("bucket %d count %d deviates from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMoments(t *testing.T) {
+	r := New(13)
+	const n = 400000
+	rate := 2.5
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	m2 := sumSq / n
+	if math.Abs(mean-1/rate) > 0.005 {
+		t.Fatalf("Exp mean %v, want %v", mean, 1/rate)
+	}
+	// Second moment of Exp(rate) is 2/rate^2.
+	if math.Abs(m2-2/(rate*rate)) > 0.01 {
+		t.Fatalf("Exp second moment %v, want %v", m2, 2/(rate*rate))
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const n = 400000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("Normal mean %v, want 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("Normal variance %v, want 1", variance)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 12, 80} {
+		r := New(uint64(100 + mean))
+		const n = 200000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.02 {
+			t.Fatalf("Poisson(%v) mean %v", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.08*mean+0.05 {
+			t.Fatalf("Poisson(%v) variance %v", mean, variance)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	if v := New(1).Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d", v)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ shape, rate float64 }{{0.5, 1}, {2, 3}, {9, 0.5}} {
+		r := New(uint64(1000*tc.shape) + uint64(tc.rate))
+		const n = 300000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := r.Gamma(tc.shape, tc.rate)
+			if v < 0 {
+				t.Fatalf("Gamma returned negative %v", v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := tc.shape / tc.rate
+		wantVar := tc.shape / (tc.rate * tc.rate)
+		if math.Abs(mean-wantMean) > 0.03*wantMean {
+			t.Fatalf("Gamma(%v,%v) mean %v want %v", tc.shape, tc.rate, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.08*wantVar {
+			t.Fatalf("Gamma(%v,%v) variance %v want %v", tc.shape, tc.rate, variance, wantVar)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	f := func(n uint8) bool {
+		size := int(n%32) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v", freq)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestUint64Uniformity(t *testing.T) {
+	// Chi-square over the top 4 bits.
+	r := New(31)
+	counts := make([]int, 16)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[r.Uint64()>>60]++
+	}
+	expected := float64(n) / 16
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile is about 37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi-square statistic %v indicates non-uniform top bits", chi2)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exp(1)
+	}
+	_ = sink
+}
