@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Exponential is the exponential distribution with the given rate
+// (mean 1/Rate) — the job-size law of the paper's M/M/k model.
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns the exponential distribution with the given rate.
+// It panics if rate is not finite and positive.
+func NewExponential(rate float64) Exponential {
+	if !isFinitePos(rate) {
+		panic(fmt.Sprintf("dist: NewExponential rate=%v, want finite > 0", rate))
+	}
+	return Exponential{Rate: rate}
+}
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Moment returns E[X^k] = k! / Rate^k.
+func (e Exponential) Moment(k int) float64 {
+	checkMomentOrder(k)
+	return factorial(k) / math.Pow(e.Rate, float64(k))
+}
+
+// CDF returns 1 - exp(-Rate*x) for x >= 0.
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// -Expm1 avoids cancellation for small Rate*x.
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile returns -ln(1-p)/Rate.
+func (e Exponential) Quantile(p float64) float64 {
+	checkProb(p)
+	return -math.Log1p(-p) / e.Rate
+}
+
+// Sample draws an exponential variate from r.
+func (e Exponential) Sample(r *xrand.Rand) float64 { return r.Exp(e.Rate) }

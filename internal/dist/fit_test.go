@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Table-driven fitter tests covering every branch: cv2 < 1 (including the
+// Erlang-mixture regime cv2 < 1/2), cv2 = 1, cv2 > 1, and degenerate
+// inputs that must return errors — never NaN/Inf parameters.
+
+func TestFitCoxianTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		mean, cv2 float64
+		phases    int // expected phase count, 0 = don't care
+	}{
+		{"erlang-regime-tiny-cv2", 2, 0.1, 10},
+		{"erlang-regime", 1, 0.3, 4},
+		{"erlang-boundary", 0.5, 0.5, 2},
+		{"two-phase-low", 3, 0.7, 2},
+		{"exponential-cv2", 1, 1, 2},
+		{"heavy", 0.25, 4, 2},
+		{"very-heavy", 10, 50, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := FitCoxian(tc.mean, tc.cv2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.phases != 0 && len(c.Rates) != tc.phases {
+				t.Fatalf("got %d phases, want %d", len(c.Rates), tc.phases)
+			}
+			m1, m2 := c.Moment(1), c.Moment(2)
+			if relDiff(m1, tc.mean) > 1e-9 {
+				t.Errorf("mean %v, want %v", m1, tc.mean)
+			}
+			if got := m2/(m1*m1) - 1; relDiff(got, tc.cv2) > 1e-8 {
+				t.Errorf("cv2 %v, want %v", got, tc.cv2)
+			}
+		})
+	}
+}
+
+func TestFitCoxianDegenerate(t *testing.T) {
+	cases := []struct {
+		name      string
+		mean, cv2 float64
+	}{
+		{"zero-mean", 0, 1},
+		{"negative-mean", -1, 1},
+		{"nan-mean", math.NaN(), 1},
+		{"inf-mean", math.Inf(1), 1},
+		{"zero-cv2", 1, 0},
+		{"negative-cv2", 1, -2},
+		{"nan-cv2", 1, math.NaN()},
+		{"inf-cv2", 1, math.Inf(1)},
+		{"cv2-below-phase-cap", 1, 1e-9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FitCoxian(tc.mean, tc.cv2); err == nil {
+				t.Fatalf("FitCoxian(%v, %v) succeeded, want error", tc.mean, tc.cv2)
+			}
+		})
+	}
+}
+
+func TestFitHyperExpBalancedTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		m1, m2 float64
+	}{
+		{"busy-period", 2, 16},   // cv2 = 3
+		{"cv2-exactly-1", 1, 2},  // collapses to exponential
+		{"mild", 0.5, 0.6},       // cv2 = 1.4
+		{"extreme", 1, 1000},     // cv2 = 999
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := FitHyperExpBalanced(tc.m1, tc.m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(h.Moment(1)-tc.m1) > 1e-9*tc.m1 || math.Abs(h.Moment(2)-tc.m2) > 1e-9*tc.m2 {
+				t.Errorf("moments (%v, %v), want (%v, %v)", h.Moment(1), h.Moment(2), tc.m1, tc.m2)
+			}
+			// Balanced means: p1/r1 == p2/r2.
+			if relDiff(h.Probs[0]/h.Rates[0], h.Probs[1]/h.Rates[1]) > 1e-9 {
+				t.Errorf("branch means unbalanced: %v vs %v",
+					h.Probs[0]/h.Rates[0], h.Probs[1]/h.Rates[1])
+			}
+		})
+	}
+}
+
+func TestFitHyperExpBalancedDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		m1, m2 float64
+	}{
+		{"cv2-below-1", 1, 1.5},
+		{"zero-variance", 1, 1},
+		{"zero-mean", 0, 1},
+		{"negative-mean", -2, 1},
+		{"zero-m2", 1, 0},
+		{"nan", math.NaN(), 1},
+		{"inf-m2", 1, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FitHyperExpBalanced(tc.m1, tc.m2); err == nil {
+				t.Fatalf("FitHyperExpBalanced(%v, %v) succeeded, want error", tc.m1, tc.m2)
+			}
+		})
+	}
+}
+
+func TestFitCoxian2Table(t *testing.T) {
+	cases := []struct {
+		name       string
+		m1, m2, m3 float64
+		relTol     float64
+	}{
+		{"busy-period-rho-0.5", 2, 16, 288, 1e-6},
+		// M/M/1 busy period moments for lambda=3.6, mu=4 (rho=0.9):
+		// m1 = 1/(mu-lambda), m2 = 2mu/(mu-lambda)^3, m3 = 6mu(mu+lambda)/(mu-lambda)^5.
+		{"busy-period-rho-0.9", 2.5, 125, 17812.5, 1e-6},
+		{"hyperexp-moments", 0.65, 0.95, 2.325, 1e-6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := FitCoxian2(tc.m1, tc.m2, tc.m3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.valid() {
+				t.Fatalf("invalid parameters %+v", c)
+			}
+			for k, want := range map[int]float64{1: tc.m1, 2: tc.m2, 3: tc.m3} {
+				if relDiff(c.Moment(k), want) > tc.relTol {
+					t.Errorf("Moment(%d) = %v, want %v", k, c.Moment(k), want)
+				}
+			}
+		})
+	}
+}
+
+func TestFitCoxian2Exponential(t *testing.T) {
+	// Exact exponential moments short-circuit to P = 0, Mu1 = 1/m1.
+	c, err := FitCoxian2(0.5, 0.5, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.P != 0 || relDiff(c.Mu1, 2) > 1e-12 {
+		t.Fatalf("exponential moments gave %+v, want P=0 Mu1=2", c)
+	}
+}
+
+func TestFitCoxian2Degenerate(t *testing.T) {
+	cases := []struct {
+		name       string
+		m1, m2, m3 float64
+		errPart    string
+	}{
+		{"no-variance", 1, 1, 1, "no variance"},
+		{"sub-exponential-m2", 2, 3, 10, "no variance"}, // m2 < m1^2
+		{"not-representable", 1, 3, 6, "not Coxian2-representable"},
+		{"zero-m1", 0, 1, 1, "finite and positive"},
+		{"negative-m3", 1, 3, -5, "finite and positive"},
+		{"nan", math.NaN(), 2, 6, "finite and positive"},
+		{"inf", 1, math.Inf(1), 6, "finite and positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FitCoxian2(tc.m1, tc.m2, tc.m3)
+			if err == nil {
+				t.Fatalf("FitCoxian2(%v, %v, %v) succeeded, want error", tc.m1, tc.m2, tc.m3)
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+// TestConstructorPanics: invalid static parameters are programming errors
+// and panic (matching the xrand and workload idiom), unlike fitter targets
+// which are data and return errors.
+func TestConstructorPanics(t *testing.T) {
+	mustPanic(t, "NewExponential(0)", func() { NewExponential(0) })
+	mustPanic(t, "NewExponential(NaN)", func() { NewExponential(math.NaN()) })
+	mustPanic(t, "NewUniform(2,1)", func() { NewUniform(2, 1) })
+	mustPanic(t, "NewUniform(-1,1)", func() { NewUniform(-1, 1) })
+	mustPanic(t, "NewUniform(NaN,1)", func() { NewUniform(math.NaN(), 1) })
+	mustPanic(t, "NewBoundedPareto(0,1,2)", func() { NewBoundedPareto(0, 1, 2) })
+	mustPanic(t, "NewBoundedPareto(1,0,2)", func() { NewBoundedPareto(1, 0, 2) })
+	mustPanic(t, "NewBoundedPareto(1,2,2)", func() { NewBoundedPareto(1, 2, 2) })
+	mustPanic(t, "NewBoundedPareto(1,1,Inf)", func() { NewBoundedPareto(1, 1, math.Inf(1)) })
+	mustPanic(t, "NewHyperExp-len", func() { NewHyperExp([]float64{1}, []float64{1, 2}) })
+	mustPanic(t, "NewHyperExp-empty", func() { NewHyperExp(nil, nil) })
+	mustPanic(t, "NewHyperExp-negprob", func() { NewHyperExp([]float64{-0.5, 1.5}, []float64{1, 1}) })
+	mustPanic(t, "NewHyperExp-sum", func() { NewHyperExp([]float64{0.3, 0.3}, []float64{1, 1}) })
+	mustPanic(t, "NewHyperExp-rate", func() { NewHyperExp([]float64{0.5, 0.5}, []float64{1, 0}) })
+	mustPanic(t, "NewCoxian-len", func() { NewCoxian([]float64{1, 2}, nil) })
+	mustPanic(t, "NewCoxian-empty", func() { NewCoxian(nil, nil) })
+	mustPanic(t, "NewCoxian-rate", func() { NewCoxian([]float64{0, 1}, []float64{0.5}) })
+	mustPanic(t, "NewCoxian-cont", func() { NewCoxian([]float64{1, 1}, []float64{1.5}) })
+	mustPanic(t, "Moment(-1)", func() { NewExponential(1).Moment(-1) })
+	mustPanic(t, "Quantile(-0.1)", func() { NewExponential(1).Quantile(-0.1) })
+	mustPanic(t, "Quantile(1.1)", func() { NewExponential(1).Quantile(1.1) })
+	mustPanic(t, "Quantile(NaN)", func() { NewExponential(1).Quantile(math.NaN()) })
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFit throws arbitrary (mean, cv2, m3) targets at every fitter. The
+// invariant under fuzz: a fitter either returns an error or returns a
+// distribution whose parameters and moments are finite and reproduce the
+// requested targets — never NaN/Inf, never a panic.
+func FuzzFit(f *testing.F) {
+	f.Add(1.0, 0.5, 6.0)
+	f.Add(2.0, 3.0, 288.0)          // the rho = 0.5 busy period
+	f.Add(0.001, 100.0, 1e-6)       // tiny mean, huge variability
+	f.Add(5.0, 0.01, 750.0)         // deep Erlang-mixture regime
+	f.Add(1e10, 1.0, 0.0)           // huge scale
+	f.Add(-1.0, -1.0, -1.0)         // nonsense
+	f.Add(math.MaxFloat64, math.SmallestNonzeroFloat64, math.MaxFloat64)
+	f.Add(0.0, 0.0, 0.0)
+
+	finite := func(vs ...float64) bool {
+		for _, v := range vs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+
+	f.Fuzz(func(t *testing.T, mean, cv2, m3 float64) {
+		if c, err := FitCoxian(mean, cv2); err == nil {
+			for i, r := range c.Rates {
+				if !finite(r) || r <= 0 {
+					t.Fatalf("FitCoxian(%v, %v): rate[%d] = %v", mean, cv2, i, r)
+				}
+			}
+			m1, m2 := c.Moment(1), c.Moment(2)
+			if !finite(m1, m2) {
+				t.Fatalf("FitCoxian(%v, %v): non-finite moments (%v, %v)", mean, cv2, m1, m2)
+			}
+			if relDiff(m1, mean) > 1e-8 {
+				t.Fatalf("FitCoxian(%v, %v): mean came back %v", mean, cv2, m1)
+			}
+			if got := m2/(m1*m1) - 1; relDiff(got, cv2) > 1e-6 {
+				t.Fatalf("FitCoxian(%v, %v): cv2 came back %v", mean, cv2, got)
+			}
+			if f50 := c.CDF(c.Mean()); !finite(f50) || f50 < 0 || f50 > 1 {
+				t.Fatalf("FitCoxian(%v, %v): CDF(mean) = %v", mean, cv2, f50)
+			}
+		}
+
+		m2 := (1 + cv2) * mean * mean
+		if h, err := FitHyperExpBalanced(mean, m2); err == nil {
+			if !finite(h.Probs[0], h.Probs[1], h.Rates[0], h.Rates[1]) {
+				t.Fatalf("FitHyperExpBalanced(%v, %v): non-finite params %+v", mean, m2, h)
+			}
+			if relDiff(h.Moment(1), mean) > 1e-8 || relDiff(h.Moment(2), m2) > 1e-8 {
+				t.Fatalf("FitHyperExpBalanced(%v, %v): moments (%v, %v)",
+					mean, m2, h.Moment(1), h.Moment(2))
+			}
+			// The fitted mixture's third moment is by construction a feasible
+			// Coxian2 target: the three-moment fitter must round-trip it.
+			h3 := h.Moment(3)
+			if finite(h3) {
+				c2, err := FitCoxian2(mean, m2, h3)
+				if err == nil {
+					if !finite(c2.Mu1, c2.Mu2, c2.P) {
+						t.Fatalf("FitCoxian2(%v, %v, %v): non-finite params %+v", mean, m2, h3, c2)
+					}
+					for k, want := range map[int]float64{1: mean, 2: m2, 3: h3} {
+						if relDiff(c2.Moment(k), want) > 1e-5 {
+							t.Fatalf("FitCoxian2(%v, %v, %v): Moment(%d) = %v",
+								mean, m2, h3, k, c2.Moment(k))
+						}
+					}
+				}
+			}
+		}
+
+		// Raw three-moment fuzz: m3 is unconstrained garbage; success still
+		// demands finite parameters and faithful moments.
+		if c2, err := FitCoxian2(mean, m2, m3); err == nil {
+			if !finite(c2.Mu1, c2.Mu2, c2.P) || c2.Mu1 <= 0 || c2.Mu2 <= 0 {
+				t.Fatalf("FitCoxian2(%v, %v, %v): bad params %+v", mean, m2, m3, c2)
+			}
+			for k, want := range map[int]float64{1: mean, 2: m2, 3: m3} {
+				if relDiff(c2.Moment(k), want) > 1e-5 {
+					t.Fatalf("FitCoxian2(%v, %v, %v): Moment(%d) = %v",
+						mean, m2, m3, k, c2.Moment(k))
+				}
+			}
+		}
+	})
+}

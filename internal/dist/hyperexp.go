@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// HyperExp is a finite mixture of exponentials: with probability Probs[i]
+// a variate is Exp(Rates[i]). Hyperexponentials capture any squared
+// coefficient of variation >= 1 and serve as the paper's two-moment
+// busy-period stand-in (the ablation point between the one-moment
+// exponential and the three-moment Coxian of Section 5.2).
+type HyperExp struct {
+	Probs, Rates []float64
+}
+
+// NewHyperExp returns the mixture with the given branch probabilities and
+// rates. It panics unless the slices have equal nonzero length, the
+// probabilities are nonnegative and sum to 1 (within 1e-12), and every
+// rate is finite and positive.
+func NewHyperExp(probs, rates []float64) HyperExp {
+	if len(probs) == 0 || len(probs) != len(rates) {
+		panic(fmt.Sprintf("dist: NewHyperExp branch mismatch: %d probs, %d rates",
+			len(probs), len(rates)))
+	}
+	sum := 0.0
+	for i, p := range probs {
+		if !(p >= 0) || !isFinitePos(rates[i]) {
+			panic(fmt.Sprintf("dist: NewHyperExp branch %d: prob=%v rate=%v", i, p, rates[i]))
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		panic(fmt.Sprintf("dist: NewHyperExp probabilities sum to %v, want 1", sum))
+	}
+	return HyperExp{Probs: append([]float64(nil), probs...), Rates: append([]float64(nil), rates...)}
+}
+
+// Mean returns sum_i Probs[i]/Rates[i].
+func (h HyperExp) Mean() float64 {
+	m := 0.0
+	for i, p := range h.Probs {
+		m += p / h.Rates[i]
+	}
+	return m
+}
+
+// Moment returns E[X^k] = sum_i Probs[i] * k! / Rates[i]^k.
+func (h HyperExp) Moment(k int) float64 {
+	checkMomentOrder(k)
+	kf := factorial(k)
+	m := 0.0
+	for i, p := range h.Probs {
+		m += p * kf / math.Pow(h.Rates[i], float64(k))
+	}
+	return m
+}
+
+// CDF returns 1 - sum_i Probs[i] * exp(-Rates[i]*x) for x >= 0.
+func (h HyperExp) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	tail := 0.0
+	for i, p := range h.Probs {
+		tail += p * math.Exp(-h.Rates[i]*x)
+	}
+	return 1 - tail
+}
+
+// Quantile inverts the CDF numerically (the mixture has no closed-form
+// inverse for more than one distinct rate).
+func (h HyperExp) Quantile(p float64) float64 {
+	checkProb(p)
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return bisectQuantile(h.CDF, p, h.Mean())
+}
+
+// Sample picks a branch by its probability, then draws from that branch's
+// exponential. Two xrand draws per variate.
+func (h HyperExp) Sample(r *xrand.Rand) float64 {
+	u := r.Float64()
+	acc := 0.0
+	for i, p := range h.Probs {
+		acc += p
+		if u < acc {
+			return r.Exp(h.Rates[i])
+		}
+	}
+	// Guard against probabilities summing to 1-epsilon.
+	return r.Exp(h.Rates[len(h.Rates)-1])
+}
+
+// FitHyperExpBalanced fits a two-branch hyperexponential to the first two
+// raw moments (m1, m2) under the balanced-means convention
+// Probs[0]/Rates[0] = Probs[1]/Rates[1], the standard two-moment fit used
+// for the busy-period ablation. Writing cv2 = m2/m1^2 - 1, the fit is
+//
+//	Probs = (1 ± sqrt((cv2-1)/(cv2+1))) / 2,  Rates[i] = 2*Probs[i]/m1,
+//
+// which requires cv2 >= 1 (equivalently m2 >= 2*m1^2); cv2 = 1 collapses
+// to the exponential. Infeasible or non-finite moments return an error —
+// never NaN/Inf parameters.
+func FitHyperExpBalanced(m1, m2 float64) (HyperExp, error) {
+	if !isFinitePos(m1) || !isFinitePos(m2) {
+		return HyperExp{}, fmt.Errorf("dist: FitHyperExpBalanced(m1=%v, m2=%v): moments must be finite and positive", m1, m2)
+	}
+	cv2 := m2/(m1*m1) - 1
+	if cv2 < 1 {
+		return HyperExp{}, fmt.Errorf("dist: FitHyperExpBalanced(m1=%v, m2=%v): cv2=%v < 1 is infeasible for a hyperexponential", m1, m2, cv2)
+	}
+	d := math.Sqrt((cv2 - 1) / (cv2 + 1))
+	p1, p2 := (1+d)/2, (1-d)/2
+	h := HyperExp{
+		Probs: []float64{p1, p2},
+		Rates: []float64{2 * p1 / m1, 2 * p2 / m1},
+	}
+	if !isFinitePos(h.Rates[0]) || !isFinitePos(h.Rates[1]) {
+		return HyperExp{}, fmt.Errorf("dist: FitHyperExpBalanced(m1=%v, m2=%v): degenerate branch rates", m1, m2)
+	}
+	return h, nil
+}

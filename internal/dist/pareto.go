@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// BoundedPareto is the Pareto distribution with shape Alpha truncated to
+// [Lo, Hi] (density proportional to x^(-Alpha-1) on the support). It models
+// the heavy-tailed job sizes of the ML-platform scenario: most jobs are
+// small, a few are enormous, but sizes are capped so every moment exists.
+type BoundedPareto struct {
+	Alpha, Lo, Hi float64
+}
+
+// NewBoundedPareto returns the bounded Pareto with shape alpha on [lo, hi].
+// It panics unless alpha > 0 and 0 < lo < hi are all finite.
+func NewBoundedPareto(alpha, lo, hi float64) BoundedPareto {
+	if !isFinitePos(alpha) || !isFinitePos(lo) || !isFinitePos(hi) || !(lo < hi) {
+		panic(fmt.Sprintf("dist: NewBoundedPareto(%v, %v, %v), want alpha > 0 and 0 < lo < hi finite",
+			alpha, lo, hi))
+	}
+	return BoundedPareto{Alpha: alpha, Lo: lo, Hi: hi}
+}
+
+// truncMass returns 1 - (Lo/Hi)^Alpha, the unnormalized mass on [Lo, Hi].
+func (b BoundedPareto) truncMass() float64 {
+	return 1 - math.Pow(b.Lo/b.Hi, b.Alpha)
+}
+
+// Mean returns Moment(1).
+func (b BoundedPareto) Mean() float64 { return b.Moment(1) }
+
+// Moment returns E[X^k]. Unlike the unbounded Pareto, every moment is
+// finite; the k = Alpha resonance is the logarithmic limit of the general
+// formula.
+func (b BoundedPareto) Moment(k int) float64 {
+	checkMomentOrder(k)
+	if k == 0 {
+		return 1
+	}
+	kk := float64(k)
+	c := b.Alpha * math.Pow(b.Lo, b.Alpha) / b.truncMass()
+	if math.Abs(kk-b.Alpha) < 1e-9 {
+		// lim_{a->k} (Hi^(k-a) - Lo^(k-a))/(k-a) = ln(Hi/Lo).
+		return c * math.Log(b.Hi/b.Lo)
+	}
+	return c * (math.Pow(b.Hi, kk-b.Alpha) - math.Pow(b.Lo, kk-b.Alpha)) / (kk - b.Alpha)
+}
+
+// CDF returns (1 - (Lo/x)^Alpha) / (1 - (Lo/Hi)^Alpha), clamped to the
+// support.
+func (b BoundedPareto) CDF(x float64) float64 {
+	switch {
+	case x <= b.Lo:
+		return 0
+	case x >= b.Hi:
+		return 1
+	default:
+		return (1 - math.Pow(b.Lo/x, b.Alpha)) / b.truncMass()
+	}
+}
+
+// Quantile inverts the CDF: Lo * (1 - p*(1 - (Lo/Hi)^Alpha))^(-1/Alpha).
+func (b BoundedPareto) Quantile(p float64) float64 {
+	checkProb(p)
+	if p >= 1 {
+		return b.Hi
+	}
+	x := b.Lo * math.Pow(1-p*b.truncMass(), -1/b.Alpha)
+	return math.Min(x, b.Hi)
+}
+
+// Sample draws by inverse transform, so one uniform from r per variate.
+func (b BoundedPareto) Sample(r *xrand.Rand) float64 {
+	return b.Quantile(r.Float64())
+}

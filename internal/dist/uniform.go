@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Uniform is the continuous uniform distribution on [Lo, Hi], used by the
+// Appendix A batch experiments for moderately variable job sizes.
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns the uniform distribution on [lo, hi]. It panics
+// unless lo and hi are finite with lo < hi and lo >= 0 (job sizes are
+// nonnegative throughout the repository).
+func NewUniform(lo, hi float64) Uniform {
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || !(lo < hi) || lo < 0 {
+		panic(fmt.Sprintf("dist: NewUniform(%v, %v), want 0 <= lo < hi finite", lo, hi))
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Moment returns E[X^k] = (Hi^(k+1) - Lo^(k+1)) / ((k+1)(Hi-Lo)).
+func (u Uniform) Moment(k int) float64 {
+	checkMomentOrder(k)
+	kk := float64(k)
+	return (math.Pow(u.Hi, kk+1) - math.Pow(u.Lo, kk+1)) / ((kk + 1) * (u.Hi - u.Lo))
+}
+
+// CDF returns the linear ramp from Lo to Hi, clamped outside the support.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Quantile returns Lo + p*(Hi-Lo).
+func (u Uniform) Quantile(p float64) float64 {
+	checkProb(p)
+	return u.Lo + p*(u.Hi-u.Lo)
+}
+
+// Sample draws a uniform variate from r.
+func (u Uniform) Sample(r *xrand.Rand) float64 {
+	return u.Lo + r.Float64()*(u.Hi-u.Lo)
+}

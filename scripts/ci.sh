@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, vet, race-enabled tests, plus a short-budget fuzz
+# pass over the distribution fitters. Every PR must leave this green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
+go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
+
+echo "CI green."
