@@ -21,12 +21,14 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/dist"
+	"repro/internal/exp"
 	"repro/internal/mcsim"
 	"repro/internal/mdp"
 	"repro/internal/policy"
@@ -37,10 +39,10 @@ import (
 )
 
 func benchFigure4(b *testing.B, rho float64) {
-	grid := core.DefaultMuGrid()
+	grid := exp.DefaultMuGrid()
 	var ifWins, efWins int
 	for i := 0; i < b.N; i++ {
-		points, err := core.Figure4(4, rho, grid)
+		points, err := exp.Figure4(context.Background(), 4, rho, grid, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,10 +64,10 @@ func BenchmarkFigure4bMedLoad(b *testing.B)  { benchFigure4(b, 0.7) }
 func BenchmarkFigure4cHighLoad(b *testing.B) { benchFigure4(b, 0.9) }
 
 func benchFigure5(b *testing.B, rho float64) {
-	muIs := core.DefaultMuGrid()
-	var left, right core.CurvePoint
+	muIs := exp.DefaultMuGrid()
+	var left, right exp.CurvePoint
 	for i := 0; i < b.N; i++ {
-		points, err := core.Figure5(4, rho, muIs)
+		points, err := exp.Figure5(context.Background(), 4, rho, muIs, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,9 +86,9 @@ func BenchmarkFigure5cHighLoad(b *testing.B) { benchFigure5(b, 0.9) }
 
 func benchFigure6(b *testing.B, muI float64) {
 	ks := []int{2, 4, 8, 16}
-	var first, last core.KPoint
+	var first, last exp.KPoint
 	for i := 0; i < b.N; i++ {
-		points, err := core.Figure6(0.9, muI, 1.0, ks)
+		points, err := exp.Figure6(context.Background(), 0.9, muI, 1.0, ks, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,8 +121,8 @@ func BenchmarkAnalysisVsSimulation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// 1M measured jobs per point pushes simulation noise well below
 		// the 1% the busy-period approximation is being tested against.
-		rows, err := core.ValidateAnalysis(4, 0.7, []float64{0.5, 2.0},
-			core.SimOptions{Seed: 7, WarmupJobs: 50_000, MaxJobs: 1_000_000})
+		rows, err := exp.ValidateAnalysis(context.Background(), 4, 0.7, []float64{0.5, 2.0},
+			core.SimOptions{Seed: 7, WarmupJobs: 50_000, MaxJobs: 1_000_000}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +216,7 @@ func BenchmarkIdlingInterchange(b *testing.B) {
 func BenchmarkBusyPeriodAblation(b *testing.B) {
 	var errCox, errExp float64
 	for i := 0; i < b.N; i++ {
-		rows, err := core.BusyPeriodAblation(4, 0.8, []float64{1.0})
+		rows, err := exp.BusyPeriodAblation(context.Background(), 4, 0.8, []float64{1.0}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

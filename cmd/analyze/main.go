@@ -31,15 +31,30 @@ func main() {
 		exact   = flag.Bool("exact", false, "also solve the exact truncated 2D chain")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *k < 1 {
+		log.Fatalf("-k must be >= 1 (got %d)", *k)
+	}
+	if *muI <= 0 || *muE <= 0 {
+		log.Fatalf("service rates must be positive (got muI=%g, muE=%g)", *muI, *muE)
+	}
 
 	var s core.System
 	switch {
-	case *rho > 0:
+	case *rho != 0:
+		if !(*rho > 0 && *rho < 1) {
+			log.Fatalf("-rho must be in (0, 1) (got %g)", *rho)
+		}
 		s = core.ForLoad(*k, *rho, *muI, *muE)
 	case *lambdaI > 0 && *lambdaE > 0:
 		s = core.NewSystem(*k, *lambdaI, *muI, *lambdaE, *muE)
 	default:
-		log.Fatal("specify either -rho or both -lambdaI and -lambdaE")
+		log.Fatal("specify either -rho in (0, 1) or both -lambdaI > 0 and -lambdaE > 0")
+	}
+	if s.Rho() >= 1 {
+		log.Fatalf("system is unstable: rho = %.4f >= 1", s.Rho())
 	}
 
 	fmt.Printf("system: k=%d lambdaI=%.4f lambdaE=%.4f muI=%g muE=%g rho=%.4f\n",

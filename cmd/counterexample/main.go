@@ -26,6 +26,15 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "RNG seed")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *muI <= 0 {
+		log.Fatalf("-muI must be positive (got %g)", *muI)
+	}
+	if *trials < 1 {
+		log.Fatalf("-trials must be >= 1 (got %d)", *trials)
+	}
 
 	res, err := core.Theorem6(*muI)
 	if err != nil {

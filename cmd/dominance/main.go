@@ -1,7 +1,8 @@
 // Command dominance runs the Theorem 3 coupled sample-path experiment from
 // the command line: two policies are driven in lockstep over identical
 // arrival sequences and the total and inelastic work in system are compared
-// at every event epoch.
+// at every event epoch. Independent traces run in parallel on the
+// internal/exp worker pool.
 //
 // Usage:
 //
@@ -9,58 +10,62 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/exp"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dominance: ")
 	var (
-		k     = flag.Int("k", 4, "number of servers")
-		rho   = flag.Float64("rho", 0.8, "system load (lambdaI=lambdaE)")
-		muI   = flag.Float64("muI", 1.5, "inelastic service rate")
-		muE   = flag.Float64("muE", 1.0, "elastic service rate")
-		polA  = flag.String("a", "IF", "policy A (the claimed dominator)")
-		polB  = flag.String("b", "EF", "policy B")
-		n     = flag.Int("n", 20_000, "arrivals per trace")
-		seeds = flag.Int("seeds", 5, "number of independent traces")
+		k       = flag.Int("k", 4, "number of servers")
+		rho     = flag.Float64("rho", 0.8, "system load in (0,1) (lambdaI=lambdaE)")
+		muI     = flag.Float64("muI", 1.5, "inelastic service rate")
+		muE     = flag.Float64("muE", 1.0, "elastic service rate")
+		polA    = flag.String("a", "IF", "policy A (the claimed dominator)")
+		polB    = flag.String("b", "EF", "policy B")
+		n       = flag.Int("n", 20_000, "arrivals per trace")
+		seeds   = flag.Int("seeds", 5, "number of independent traces")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
 
-	s := core.ForLoad(*k, *rho, *muI, *muE)
-	a, err := s.PolicyByName(*polA)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runs, err := exp.Dominance(ctx, exp.DominanceConfig{
+		K: *k, Rho: *rho, MuI: *muI, MuE: *muE,
+		PolicyA: *polA, PolicyB: *polB,
+		Arrivals: *n, Seeds: *seeds, Workers: *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	b, err := s.PolicyByName(*polB)
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	fmt.Printf("coupled runs: k=%d rho=%.2f muI=%g muE=%g, %d arrivals x %d seeds\n",
 		*k, *rho, *muI, *muE, *n, *seeds)
 	fmt.Printf("claim: W_%s(t) <= W_%s(t) and W_I,%s(t) <= W_I,%s(t) for all t\n\n",
 		*polA, *polB, *polA, *polB)
 
 	totalChecks, totalViolations := 0, 0
-	for seed := uint64(1); seed <= uint64(*seeds); seed++ {
-		trace := s.Model().Trace(seed, *n)
-		rep := sim.CompareWork(s.K, trace, a, b, 1e-7)
-		totalChecks += rep.Checked
-		totalViolations += len(rep.Violations)
+	for _, run := range runs {
+		totalChecks += run.Checked
+		totalViolations += run.Violations
 		status := "dominates"
-		if !rep.Dominates() {
-			status = fmt.Sprintf("VIOLATED (first: %v)", rep.Violations[0])
+		if run.Violations > 0 {
+			status = fmt.Sprintf("VIOLATED (first: %s)", run.First)
 		}
 		fmt.Printf("seed %2d: %7d checks, mean-resp ratio %s/%s = %.4f, %s\n",
-			seed, rep.Checked,
-			*polA, *polB,
-			(rep.SumRespA/float64(rep.CompletedA))/(rep.SumRespB/float64(rep.CompletedB)),
-			status)
+			run.Seed, run.Checked, *polA, *polB, run.RatioAB, status)
 	}
 	fmt.Printf("\ntotal: %d checks, %d violations\n", totalChecks, totalViolations)
 	if totalViolations == 0 {

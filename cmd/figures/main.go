@@ -1,5 +1,6 @@
 // Command figures regenerates every figure of the paper's evaluation
-// section as CSV (and an ASCII rendering for the heat maps):
+// section as CSV (and an ASCII rendering for the heat maps), dispatching
+// each figure's parameter grid across the internal/exp worker pool:
 //
 //	figures -fig 4            # heat maps of Figure 4a/4b/4c
 //	figures -fig 5            # curves of Figure 5a/5b/5c
@@ -10,20 +11,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/plot"
 )
 
 // xsOf and ysOf unpack curve points into plot series.
-func xsOf(points []core.CurvePoint) []float64 {
+func xsOf(points []exp.CurvePoint) []float64 {
 	out := make([]float64, len(points))
 	for i, p := range points {
 		out[i] = p.MuI
@@ -31,7 +35,7 @@ func xsOf(points []core.CurvePoint) []float64 {
 	return out
 }
 
-func ysOf(points []core.CurvePoint, ifPolicy bool) []float64 {
+func ysOf(points []exp.CurvePoint, ifPolicy bool) []float64 {
 	out := make([]float64, len(points))
 	for i, p := range points {
 		if ifPolicy {
@@ -47,15 +51,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig    = flag.String("fig", "all", "which artifact: 4, 5, 6, validate, ablation, all")
-		outdir = flag.String("outdir", "", "write CSVs here instead of stdout")
-		quick  = flag.Bool("quick", false, "smaller grids / shorter simulations")
-		svg    = flag.Bool("svg", false, "also render SVG figures into -outdir")
+		fig     = flag.String("fig", "all", "which artifact: 4, 5, 6, validate, ablation, all")
+		outdir  = flag.String("outdir", "", "write CSVs here instead of stdout")
+		quick   = flag.Bool("quick", false, "smaller grids / shorter simulations")
+		svg     = flag.Bool("svg", false, "also render SVG figures into -outdir")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
 	if *svg && *outdir == "" {
 		log.Fatal("-svg requires -outdir")
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	writeSVG := func(name string, render func(io.Writer) error) {
 		if !*svg {
@@ -86,7 +97,7 @@ func main() {
 		return f, func() { f.Close() }
 	}
 
-	grid := core.DefaultMuGrid()
+	grid := exp.DefaultMuGrid()
 	if *quick {
 		grid = []float64{0.25, 0.75, 1.5, 2.5, 3.5}
 	}
@@ -96,17 +107,17 @@ func main() {
 			rho  float64
 			name string
 		}{{0.5, "fig4a_low_load.csv"}, {0.7, "fig4b_med_load.csv"}, {0.9, "fig4c_high_load.csv"}} {
-			points, err := core.Figure4(4, cfg.rho, grid)
+			points, err := exp.Figure4(ctx, 4, cfg.rho, grid, *workers)
 			if err != nil {
 				log.Fatal(err)
 			}
 			w, closeFn := out(cfg.name)
-			if err := core.WriteHeatmapCSV(w, points); err != nil {
+			if err := exp.WriteHeatmapCSV(w, points); err != nil {
 				log.Fatal(err)
 			}
 			closeFn()
 			fmt.Printf("\nFigure 4 heat map, rho=%.1f (k=4, lambdaI=lambdaE):\n%s\n",
-				cfg.rho, core.RenderHeatmapASCII(points))
+				cfg.rho, exp.RenderHeatmapASCII(points))
 			sc := plot.Scatter{
 				Title:  fmt.Sprintf("Figure 4: IF vs EF, rho=%.1f, k=4", cfg.rho),
 				XLabel: "muI", YLabel: "muE",
@@ -126,12 +137,12 @@ func main() {
 			rho  float64
 			name string
 		}{{0.5, "fig5a_low_load.csv"}, {0.7, "fig5b_med_load.csv"}, {0.9, "fig5c_high_load.csv"}} {
-			points, err := core.Figure5(4, cfg.rho, grid)
+			points, err := exp.Figure5(ctx, 4, cfg.rho, grid, *workers)
 			if err != nil {
 				log.Fatal(err)
 			}
 			w, closeFn := out(cfg.name)
-			if err := core.WriteCurveCSV(w, points); err != nil {
+			if err := exp.WriteCurveCSV(w, points); err != nil {
 				log.Fatal(err)
 			}
 			closeFn()
@@ -157,12 +168,12 @@ func main() {
 			muI  float64
 			name string
 		}{{0.25, "fig6a_muI_0.25.csv"}, {3.25, "fig6b_muI_3.25.csv"}} {
-			points, err := core.Figure6(0.9, cfg.muI, 1.0, ks)
+			points, err := exp.Figure6(ctx, 0.9, cfg.muI, 1.0, ks, *workers)
 			if err != nil {
 				log.Fatal(err)
 			}
 			w, closeFn := out(cfg.name)
-			if err := core.WriteKCurveCSV(w, points); err != nil {
+			if err := exp.WriteKCurveCSV(w, points); err != nil {
 				log.Fatal(err)
 			}
 			closeFn()
@@ -192,12 +203,12 @@ func main() {
 			opt.MaxJobs = 200_000
 			muIs = []float64{0.5, 2.0}
 		}
-		rows, err := core.ValidateAnalysis(4, 0.7, muIs, opt)
+		rows, err := exp.ValidateAnalysis(ctx, 4, 0.7, muIs, opt, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
 		w, closeFn := out("validation.csv")
-		if err := core.WriteValidationTable(w, rows); err != nil {
+		if err := exp.WriteValidationTable(w, rows); err != nil {
 			log.Fatal(err)
 		}
 		closeFn()
@@ -208,7 +219,7 @@ func main() {
 		if *quick {
 			muIs = []float64{1.0}
 		}
-		rows, err := core.BusyPeriodAblation(4, 0.8, muIs)
+		rows, err := exp.BusyPeriodAblation(ctx, 4, 0.8, muIs, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

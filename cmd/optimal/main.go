@@ -34,6 +34,24 @@ func main() {
 		show = flag.Int("show", 12, "rows/cols of the decision table to print")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *k < 1 {
+		log.Fatalf("-k must be >= 1 (got %d)", *k)
+	}
+	if !(*rho > 0 && *rho < 1) {
+		log.Fatalf("-rho must be in (0, 1) (got %g)", *rho)
+	}
+	if *muI <= 0 || *muE <= 0 {
+		log.Fatalf("service rates must be positive (got muI=%g, muE=%g)", *muI, *muE)
+	}
+	if *capN < 2 {
+		log.Fatalf("-cap must be >= 2 (got %d)", *capN)
+	}
+	if *show < 0 || *show > *capN {
+		log.Fatalf("-show must be in [0, %d] (got %d)", *capN, *show)
+	}
 
 	s := core.ForLoad(*k, *rho, *muI, *muE)
 	m := s.Model2D()

@@ -1,72 +1,185 @@
 // Command simulate runs the event-driven simulator for the paper's model
-// under any built-in policy and reports mean response times, queue lengths
-// and utilization, optionally with batch-means confidence intervals from
-// independent replications.
+// through the internal/exp worker pool. Every grid flag accepts a
+// comma-separated list, so a single invocation can sweep load, service
+// rates and policies in parallel; a one-point grid reproduces the classic
+// single-run behavior. Results are deterministic for any -workers value.
 //
 // Usage:
 //
 //	simulate -k 4 -rho 0.9 -muI 0.5 -muE 1.0 -policy IF -jobs 1000000
 //	simulate -k 4 -rho 0.7 -muI 2 -muE 1 -policy THRESH:2 -reps 5
+//	simulate -k 4,8 -rho 0.5,0.7,0.9 -muI 2 -muE 1 -policy IF,EF -reps 3 -workers 8
+//	simulate -k 8 -rho 0.7 -scenario mapreduce,mlplatform -policy IF,EF
+//	simulate -k 4 -rho 0.9 -muI 1 -muE 1 -policy IF -cache sweep.jsonl -csv out.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/exp"
 )
+
+func parseInts(flagName, s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("-%s: %q is not an integer", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(flagName, s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("-%s: %q is not a number", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simulate: ")
 	var (
-		k      = flag.Int("k", 4, "number of servers")
-		rho    = flag.Float64("rho", 0.7, "system load (lambdaI=lambdaE)")
-		muI    = flag.Float64("muI", 1, "inelastic service rate")
-		muE    = flag.Float64("muE", 1, "elastic service rate")
-		pol    = flag.String("policy", "IF", "policy: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT, THRESH:<cap>")
-		jobs   = flag.Int64("jobs", 500_000, "measured completions per replication")
-		warmup = flag.Int64("warmup", 50_000, "completions discarded as warmup")
-		seed   = flag.Uint64("seed", 1, "base RNG seed")
-		reps   = flag.Int("reps", 1, "independent replications (for confidence intervals)")
+		k        = flag.String("k", "4", "server counts (comma-separated)")
+		rho      = flag.String("rho", "0.7", "system loads in (0,1), lambdaI=lambdaE (comma-separated)")
+		muI      = flag.String("muI", "1", "inelastic service rates (comma-separated)")
+		muE      = flag.String("muE", "1", "elastic service rates (comma-separated)")
+		pol      = flag.String("policy", "IF", "policies: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT, THRESH:<cap> (comma-separated)")
+		scenario = flag.String("scenario", "", "sweep workload presets instead of -muI/-muE: mapreduce, mlplatform, hpcmalleable (comma-separated)")
+		jobs     = flag.Int64("jobs", 500_000, "measured completions per replication")
+		warmup   = flag.Int64("warmup", 50_000, "completions discarded as warmup")
+		autoWarm = flag.Bool("auto-warmup", false, "MSER-5 warmup trimming instead of a fixed -warmup budget")
+		batches  = flag.Int("batches", 0, "per-replication batch-means CI with this many batches (0 = off, else >= 2)")
+		seed     = flag.Uint64("seed", 1, "base RNG seed")
+		reps     = flag.Int("reps", 1, "independent replications per cell")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache    = flag.String("cache", "", "JSONL result cache; completed cells are reused across runs")
+		csvPath  = flag.String("csv", "", "also write the result table as CSV to this file")
+		jsonPath = flag.String("json", "", "also write the full result set (per-replication detail) as JSON to this file")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *reps < 1 {
+		log.Fatalf("-reps must be >= 1 (got %d)", *reps)
+	}
+	if *seed < 1 {
+		log.Fatalf("-seed must be >= 1 (got %d)", *seed)
+	}
 
-	s := core.ForLoad(*k, *rho, *muI, *muE)
-	p, err := s.PolicyByName(*pol)
+	policies := parseList(*pol)
+	if len(policies) == 0 {
+		log.Fatal("-policy must name at least one policy")
+	}
+
+	sweep := exp.Sweep{
+		Name: "simulate",
+		Grid: exp.Grid{
+			K:         parseInts("k", *k),
+			Rho:       parseFloats("rho", *rho),
+			Policies:  policies,
+			Scenarios: parseList(*scenario),
+		},
+		Reps:       *reps,
+		BaseSeed:   *seed,
+		Warmup:     *warmup,
+		Jobs:       *jobs,
+		AutoWarmup: *autoWarm,
+		Batches:    *batches,
+	}
+	if len(sweep.Grid.Scenarios) == 0 {
+		sweep.Grid.MuI = parseFloats("muI", *muI)
+		sweep.Grid.MuE = parseFloats("muE", *muE)
+	} else {
+		// Scenario presets fix their own size distributions; explicit
+		// service-rate flags would be silently meaningless.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "muI" || f.Name == "muE" {
+				log.Fatalf("-%s cannot be combined with -scenario (presets fix their size distributions)", f.Name)
+			}
+		})
+	}
+
+	opt := exp.Options{Workers: *workers}
+	if *cache != "" {
+		fc, err := exp.OpenFileCache(*cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Cache = fc
+	}
+
+	// Ctrl-C cancels the sweep; completed cells are already in the cache,
+	// so the next run resumes where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rs, err := exp.Run(ctx, sweep, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("system: k=%d rho=%.3f muI=%g muE=%g lambda=%.4f/class policy=%s\n",
-		s.K, s.Rho(), s.MuI, s.MuE, s.LambdaI, p.Name())
 
-	var meanT, meanTI, meanTE, util stats.Summary
-	var last sim.Result
-	for rep := 0; rep < *reps; rep++ {
-		res := s.Simulate(p, core.SimOptions{
-			Seed:       *seed + uint64(rep),
-			WarmupJobs: *warmup,
-			MaxJobs:    *jobs,
-		})
-		meanT.Add(res.MeanT)
-		meanTI.Add(res.MeanTI)
-		meanTE.Add(res.MeanTE)
-		util.Add(res.Metrics.Utilization(s.K))
-		last = res
+	cells := len(rs.Cells)
+	fmt.Printf("sweep: %d cells x %d reps, %d jobs/rep (seed %d)\n\n", cells, *reps, *jobs, *seed)
+	fmt.Printf("%-3s %-5s %-5s %-5s %-12s %-10s %10s %10s %10s %10s %10s %8s %9s\n",
+		"k", "rho", "muI", "muE", "scenario", "policy", "E[T]", "±95%", "E[T_I]", "E[T_E]", "E[N]", "util", "jobs")
+	for _, cr := range rs.Cells {
+		c := cr.Cell
+		// No CI exists for a single replication without batch means; show
+		// "-" rather than a misleading zero width.
+		ci := fmt.Sprintf("%10.6f", cr.ETCI)
+		if len(cr.Reps) < 2 && cr.ETCI == 0 {
+			ci = fmt.Sprintf("%10s", "-")
+		}
+		fmt.Printf("%-3d %-5g %-5g %-5g %-12s %-10s %10.6f %s %10.6f %10.6f %10.6f %8.4f %9d\n",
+			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Policy, cr.ET, ci, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions)
 	}
-	if *reps == 1 {
-		fmt.Printf("E[T]   = %.6f\n", last.MeanT)
-		fmt.Printf("E[T_I] = %.6f   E[T_E] = %.6f\n", last.MeanTI, last.MeanTE)
-		fmt.Printf("E[N]   = %.6f   utilization = %.4f\n",
-			last.MeanN, last.Metrics.Utilization(s.K))
-		fmt.Printf("completions = %d\n", last.Completions)
-		return
+
+	if *csvPath != "" {
+		writeTo(*csvPath, rs.WriteCSV)
 	}
-	fmt.Printf("E[T]   = %.6f ± %.6f (95%%, %d reps)\n", meanT.Mean(), meanT.CI95(), *reps)
-	fmt.Printf("E[T_I] = %.6f ± %.6f\n", meanTI.Mean(), meanTI.CI95())
-	fmt.Printf("E[T_E] = %.6f ± %.6f\n", meanTE.Mean(), meanTE.CI95())
-	fmt.Printf("util   = %.4f ± %.4f\n", util.Mean(), util.CI95())
+	if *jsonPath != "" {
+		writeTo(*jsonPath, rs.WriteJSON)
+	}
+}
+
+func writeTo(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -26,6 +26,12 @@ func main() {
 		brute  = flag.Bool("brute", false, "also compare against the best priority order (n<=7)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	if *trials < 1 {
+		log.Fatalf("-trials must be >= 1 (got %d)", *trials)
+	}
 
 	fmt.Println("SRPT-k batch scheduling (Appendix A): total response vs LP lower bound")
 	fmt.Println("family                         worst ratio   mean ratio   (bound: 4.0)")

@@ -1,8 +1,10 @@
-// Package core is the public face of the library: a System type holding the
-// paper's model parameters, one-call analysis and simulation entry points,
-// and drivers that regenerate every figure and table of the evaluation
-// (Figures 4, 5, 6, the Theorem 6 counterexample, the analysis-vs-simulation
-// validation, and the Appendix A approximation experiment).
+// Package core is the model-level face of the library: a System type
+// holding the paper's parameters, one-call analysis and simulation entry
+// points, policy-by-name resolution, and the single-configuration
+// experiments (the Theorem 6 counterexample, the Appendix A SRPT-k batch
+// experiment, the busy-period fit ablation). The parameter sweeps behind
+// Figures 4-6 and the Section 5 validation table are orchestrated one layer
+// up, in internal/exp.
 package core
 
 import (

@@ -35,19 +35,3 @@ func ExampleTheorem6() {
 	fmt.Printf("IF=%.6f EF=%.6f\n", res.IFTotal, res.EFTotal)
 	// Output: IF=2.916667 EF=2.750000
 }
-
-// ExampleFigure4 computes a tiny heat map and counts the winners.
-func ExampleFigure4() {
-	points, err := core.Figure4(4, 0.7, []float64{0.5, 1.0, 2.0})
-	if err != nil {
-		panic(err)
-	}
-	ifWins := 0
-	for _, p := range points {
-		if p.IFWins {
-			ifWins++
-		}
-	}
-	fmt.Printf("IF wins %d of %d cells\n", ifWins, len(points))
-	// Output: IF wins 6 of 9 cells
-}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/ctmc"
 	"repro/internal/dist"
 	"repro/internal/mrt"
@@ -11,88 +9,11 @@ import (
 	"repro/internal/xrand"
 )
 
-// HeatmapPoint is one cell of the Figure 4 heat maps: the relative
-// performance of IF and EF at a (muI, muE) grid point with rho held fixed.
-type HeatmapPoint struct {
-	MuI, MuE float64
-	TIF, TEF float64
-	// IFWins is true when IF's mean response time is at most EF's.
-	IFWins bool
-}
-
-// DefaultMuGrid reproduces the paper's 0.25..3.5 axes.
-func DefaultMuGrid() []float64 {
-	grid := make([]float64, 14)
-	for i := range grid {
-		grid[i] = 0.25 * float64(i+1)
-	}
-	return grid
-}
-
-// Figure4 computes one heat map: for each (muI, muE) pair the arrival rates
-// are rescaled to hold rho constant with lambdaI = lambdaE (the paper's
-// protocol), then both policies are analyzed.
-func Figure4(k int, rho float64, grid []float64) ([]HeatmapPoint, error) {
-	var out []HeatmapPoint
-	for _, muI := range grid {
-		for _, muE := range grid {
-			s := ForLoad(k, rho, muI, muE)
-			ifRes, efRes, err := s.Analyze()
-			if err != nil {
-				return nil, fmt.Errorf("figure4 at (muI=%g, muE=%g): %w", muI, muE, err)
-			}
-			out = append(out, HeatmapPoint{
-				MuI: muI, MuE: muE,
-				TIF: ifRes.T, TEF: efRes.T,
-				IFWins: ifRes.T <= efRes.T,
-			})
-		}
-	}
-	return out, nil
-}
-
-// CurvePoint is one x-position of the Figure 5 response-time curves.
-type CurvePoint struct {
-	MuI      float64
-	TIF, TEF float64
-}
-
-// Figure5 computes E[T] under IF and EF as a function of muI with muE = 1,
-// rho fixed, lambdaI = lambdaE, k servers.
-func Figure5(k int, rho float64, muIs []float64) ([]CurvePoint, error) {
-	var out []CurvePoint
-	for _, muI := range muIs {
-		s := ForLoad(k, rho, muI, 1.0)
-		ifRes, efRes, err := s.Analyze()
-		if err != nil {
-			return nil, fmt.Errorf("figure5 at muI=%g: %w", muI, err)
-		}
-		out = append(out, CurvePoint{MuI: muI, TIF: ifRes.T, TEF: efRes.T})
-	}
-	return out, nil
-}
-
-// KPoint is one x-position of the Figure 6 scaling curves.
-type KPoint struct {
-	K        int
-	TIF, TEF float64
-}
-
-// Figure6 computes E[T] under IF and EF as the number of servers grows with
-// rho held constant; the paper uses rho = 0.9 and the two extreme muI values
-// of Figure 5c.
-func Figure6(rho, muI, muE float64, ks []int) ([]KPoint, error) {
-	var out []KPoint
-	for _, k := range ks {
-		s := ForLoad(k, rho, muI, muE)
-		ifRes, efRes, err := s.Analyze()
-		if err != nil {
-			return nil, fmt.Errorf("figure6 at k=%d: %w", k, err)
-		}
-		out = append(out, KPoint{K: k, TIF: ifRes.T, TEF: efRes.T})
-	}
-	return out, nil
-}
+// The parameter-sweep drivers behind Figures 4-6 and the validation table
+// live in internal/exp, which fans their grid points out across a worker
+// pool. This file keeps the single-configuration experiments that need no
+// sweep engine: the Theorem 6 counterexample, the Appendix A SRPT-k batch
+// experiment and the busy-period fit ablation.
 
 // Theorem6Result carries the exact counterexample values.
 type Theorem6Result struct {
@@ -119,49 +40,6 @@ func Theorem6(muI float64) (Theorem6Result, error) {
 		IFTotal: ifTotal, EFTotal: efTotal,
 		IFExpect: 35.0 / 12 / muI, EFExpect: 33.0 / 12 / muI,
 	}, nil
-}
-
-// ValidationRow is one line of the analysis-vs-simulation table backing the
-// paper's "all numbers agree within 1%" claim.
-type ValidationRow struct {
-	K              int
-	Rho, MuI, MuE  float64
-	Policy         string
-	Analysis       float64
-	Simulation     float64
-	RelErr         float64
-	SimCompletions int64
-}
-
-// ValidateAnalysis compares the matrix-analytic E[T] against long
-// simulations for both policies at each configuration.
-func ValidateAnalysis(k int, rho float64, muIs []float64, opt SimOptions) ([]ValidationRow, error) {
-	var rows []ValidationRow
-	for _, muI := range muIs {
-		s := ForLoad(k, rho, muI, 1.0)
-		ifRes, efRes, err := s.Analyze()
-		if err != nil {
-			return nil, err
-		}
-		for _, pr := range []struct {
-			name     string
-			analysis float64
-		}{{"IF", ifRes.T}, {"EF", efRes.T}} {
-			p, err := s.PolicyByName(pr.name)
-			if err != nil {
-				return nil, err
-			}
-			res := s.Simulate(p, opt)
-			rows = append(rows, ValidationRow{
-				K: k, Rho: rho, MuI: muI, MuE: 1.0,
-				Policy:   pr.name,
-				Analysis: pr.analysis, Simulation: res.MeanT,
-				RelErr:         (res.MeanT - pr.analysis) / pr.analysis,
-				SimCompletions: res.Completions,
-			})
-		}
-	}
-	return rows, nil
 }
 
 // SRPTRow is one instance family of the Appendix A experiment.

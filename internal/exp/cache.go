@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Cache stores completed cell results keyed by Sweep.Key. The dispatcher
+// only ever writes fully-completed cells (all replications aggregated), so a
+// cache left behind by a canceled or crashed sweep is still consistent:
+// re-running the same sweep recomputes exactly the missing cells and reuses
+// the rest.
+type Cache interface {
+	Get(key string) (CellResult, bool)
+	Put(key string, cr CellResult) error
+}
+
+// MemCache is an in-memory Cache, safe for concurrent use.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]CellResult
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache { return &MemCache{m: map[string]CellResult{}} }
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) (CellResult, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cr, ok := c.m[key]
+	return cr, ok
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, cr CellResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = cr
+	return nil
+}
+
+// Len returns the number of cached cells.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// FileCache is a Cache persisted as JSON lines — one completed cell per
+// line, appended and flushed as each cell finishes, so an interrupted sweep
+// loses at most the in-flight cells. A corrupt line (e.g. truncated by a
+// hard kill mid-append) is skipped on load: cached entries are only an
+// optimization, never the source of truth.
+type FileCache struct {
+	mu   sync.Mutex
+	path string
+	mem  map[string]CellResult
+}
+
+type fileCacheRecord struct {
+	Key    string     `json:"key"`
+	Result CellResult `json:"result"`
+}
+
+// OpenFileCache loads (or creates on first Put) the cache at path.
+func OpenFileCache(path string) (*FileCache, error) {
+	fc := &FileCache{path: path, mem: map[string]CellResult{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fc, nil
+		}
+		return nil, fmt.Errorf("exp: opening cache: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec fileCacheRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // skip corrupt lines; see type comment
+		}
+		fc.mem[rec.Key] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("exp: reading cache %s: %w", path, err)
+	}
+	return fc, nil
+}
+
+// Get implements Cache.
+func (c *FileCache) Get(key string) (CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cr, ok := c.mem[key]
+	return cr, ok
+}
+
+// Put implements Cache: the record is appended to the file and fsynced
+// before the in-memory index is updated.
+func (c *FileCache) Put(key string, cr CellResult) error {
+	line, err := json.Marshal(fileCacheRecord{Key: key, Result: cr})
+	if err != nil {
+		return fmt.Errorf("exp: encoding cache record: %w", err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, err := os.OpenFile(c.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("exp: opening cache for append: %w", err)
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return fmt.Errorf("exp: appending cache record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("exp: syncing cache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("exp: closing cache: %w", err)
+	}
+	c.mem[key] = cr
+	return nil
+}
+
+// Len returns the number of cached cells.
+func (c *FileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}

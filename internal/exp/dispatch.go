@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0), …, fn(n-1) on a worker pool and returns the results in
+// index order. workers <= 0 means GOMAXPROCS. The first error (or recovered
+// panic) cancels the remaining tasks and is returned; cancellation of ctx
+// stops feeding tasks and returns ctx's error. Map is the generic primitive
+// behind the figure drivers and the dominance experiment.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exp: negative task count %d", n)
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	tasks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				if ctx.Err() != nil {
+					continue // drain quickly once canceled
+				}
+				v, err := protect(i, fn)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// protect isolates one task: a panic inside fn becomes an error for that
+// task instead of crashing the whole pool.
+func protect[T any](i int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: task %d panicked: %v", i, p)
+		}
+	}()
+	return fn(i)
+}
+
+// Options configure the dispatcher.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before running a cell and updated
+	// the moment a cell's last replication finishes — so a canceled sweep
+	// still banks its completed cells and a re-run is incremental.
+	Cache Cache
+}
+
+// Run executes the sweep: every (cell, replication) pair is one Map task on
+// the worker pool. Replication seeds depend only on cell identity and
+// replication index, and per-cell aggregation always consumes replications
+// in index order, so the returned ResultSet is bit-identical for any worker
+// count. On error or cancellation Run returns nil and the error; cells that
+// completed before the interruption are in the cache (if one was given).
+func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
+	if err := sw.validate(); err != nil {
+		return nil, err
+	}
+	cells := sw.Grid.Cells()
+	rs := &ResultSet{Sweep: sw, Cells: make([]CellResult, len(cells))}
+	reps := sw.reps()
+
+	type task struct{ ci, rep int }
+	var pending []task
+	repsByCell := make([][]Replication, len(cells))
+	left := make([]int, len(cells))
+	for ci, c := range cells {
+		if opt.Cache != nil {
+			if cr, ok := opt.Cache.Get(sw.Key(c)); ok {
+				rs.Cells[ci] = cr
+				continue
+			}
+		}
+		repsByCell[ci] = make([]Replication, reps)
+		left[ci] = reps
+		for rep := 0; rep < reps; rep++ {
+			pending = append(pending, task{ci, rep})
+		}
+	}
+
+	var mu sync.Mutex
+	_, err := Map(ctx, opt.Workers, len(pending), func(i int) (struct{}, error) {
+		t := pending[i]
+		r, err := sw.runReplication(cells[t.ci], t.rep)
+		if err != nil {
+			return struct{}{}, err
+		}
+		mu.Lock()
+		repsByCell[t.ci][t.rep] = r
+		left[t.ci]--
+		done := left[t.ci] == 0
+		var cr CellResult
+		if done {
+			cr = aggregate(cells[t.ci], repsByCell[t.ci])
+			rs.Cells[t.ci] = cr
+		}
+		mu.Unlock()
+		if done && opt.Cache != nil {
+			if err := opt.Cache.Put(sw.Key(cells[t.ci]), cr); err != nil {
+				return struct{}{}, fmt.Errorf("exp: caching cell %v: %w", cells[t.ci], err)
+			}
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

@@ -1,0 +1,334 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mrt"
+	"repro/internal/sim"
+)
+
+// This file holds the paper's figure and table drivers, ported from their
+// original serial loops onto the worker pool: each grid point is one Map
+// task, so a figure-scale sweep scales with the core count while producing
+// exactly the same points in the same order.
+
+// DefaultMuGrid reproduces the paper's 0.25..3.5 axes.
+func DefaultMuGrid() []float64 {
+	grid := make([]float64, 14)
+	for i := range grid {
+		grid[i] = 0.25 * float64(i+1)
+	}
+	return grid
+}
+
+// HeatmapPoint is one cell of the Figure 4 heat maps: the relative
+// performance of IF and EF at a (muI, muE) grid point with rho held fixed.
+type HeatmapPoint struct {
+	MuI, MuE float64
+	TIF, TEF float64
+	// IFWins is true when IF's mean response time is at most EF's.
+	IFWins bool
+}
+
+// Figure4 computes one heat map: for each (muI, muE) pair the arrival rates
+// are rescaled to hold rho constant with lambdaI = lambdaE (the paper's
+// protocol), then both policies are analyzed. Points come back in the serial
+// driver's order (muI outer, muE inner) regardless of worker count.
+func Figure4(ctx context.Context, k int, rho float64, grid []float64, workers int) ([]HeatmapPoint, error) {
+	n := len(grid)
+	return Map(ctx, workers, n*n, func(i int) (HeatmapPoint, error) {
+		muI, muE := grid[i/n], grid[i%n]
+		s := core.ForLoad(k, rho, muI, muE)
+		ifRes, efRes, err := s.Analyze()
+		if err != nil {
+			return HeatmapPoint{}, fmt.Errorf("figure4 at (muI=%g, muE=%g): %w", muI, muE, err)
+		}
+		return HeatmapPoint{
+			MuI: muI, MuE: muE,
+			TIF: ifRes.T, TEF: efRes.T,
+			IFWins: ifRes.T <= efRes.T,
+		}, nil
+	})
+}
+
+// CurvePoint is one x-position of the Figure 5 response-time curves.
+type CurvePoint struct {
+	MuI      float64
+	TIF, TEF float64
+}
+
+// Figure5 computes E[T] under IF and EF as a function of muI with muE = 1,
+// rho fixed, lambdaI = lambdaE, k servers.
+func Figure5(ctx context.Context, k int, rho float64, muIs []float64, workers int) ([]CurvePoint, error) {
+	return Map(ctx, workers, len(muIs), func(i int) (CurvePoint, error) {
+		muI := muIs[i]
+		s := core.ForLoad(k, rho, muI, 1.0)
+		ifRes, efRes, err := s.Analyze()
+		if err != nil {
+			return CurvePoint{}, fmt.Errorf("figure5 at muI=%g: %w", muI, err)
+		}
+		return CurvePoint{MuI: muI, TIF: ifRes.T, TEF: efRes.T}, nil
+	})
+}
+
+// KPoint is one x-position of the Figure 6 scaling curves.
+type KPoint struct {
+	K        int
+	TIF, TEF float64
+}
+
+// Figure6 computes E[T] under IF and EF as the number of servers grows with
+// rho held constant; the paper uses rho = 0.9 and the two extreme muI values
+// of Figure 5c.
+func Figure6(ctx context.Context, rho, muI, muE float64, ks []int, workers int) ([]KPoint, error) {
+	return Map(ctx, workers, len(ks), func(i int) (KPoint, error) {
+		k := ks[i]
+		s := core.ForLoad(k, rho, muI, muE)
+		ifRes, efRes, err := s.Analyze()
+		if err != nil {
+			return KPoint{}, fmt.Errorf("figure6 at k=%d: %w", k, err)
+		}
+		return KPoint{K: k, TIF: ifRes.T, TEF: efRes.T}, nil
+	})
+}
+
+// ValidationRow is one line of the analysis-vs-simulation table backing the
+// paper's "all numbers agree within 1%" claim.
+type ValidationRow struct {
+	K              int
+	Rho, MuI, MuE  float64
+	Policy         string
+	Analysis       float64
+	Simulation     float64
+	RelErr         float64
+	SimCompletions int64
+}
+
+// ValidateAnalysis compares the matrix-analytic E[T] against long
+// simulations for both policies at each configuration. Each (muI, policy)
+// pair is one pool task; rows keep the serial driver's order.
+func ValidateAnalysis(ctx context.Context, k int, rho float64, muIs []float64, opt core.SimOptions, workers int) ([]ValidationRow, error) {
+	pols := []string{"IF", "EF"}
+	return Map(ctx, workers, len(muIs)*len(pols), func(i int) (ValidationRow, error) {
+		muI, polName := muIs[i/len(pols)], pols[i%len(pols)]
+		s := core.ForLoad(k, rho, muI, 1.0)
+		analyze := mrt.IF
+		if polName == "EF" {
+			analyze = mrt.EF
+		}
+		anRes, err := analyze(s.Params(), mrt.Coxian3Moment)
+		if err != nil {
+			return ValidationRow{}, err
+		}
+		analysis := anRes.T
+		p, err := s.PolicyByName(polName)
+		if err != nil {
+			return ValidationRow{}, err
+		}
+		res := s.Simulate(p, opt)
+		return ValidationRow{
+			K: k, Rho: rho, MuI: muI, MuE: 1.0,
+			Policy:   polName,
+			Analysis: analysis, Simulation: res.MeanT,
+			RelErr:         (res.MeanT - analysis) / analysis,
+			SimCompletions: res.Completions,
+		}, nil
+	})
+}
+
+// BusyPeriodAblation fans the busy-period fit ablation (core.BusyPeriodAblation)
+// out over the muI grid, one pool task per point.
+func BusyPeriodAblation(ctx context.Context, k int, rho float64, muIs []float64, workers int) ([]core.AblationRow, error) {
+	perMu, err := Map(ctx, workers, len(muIs), func(i int) ([]core.AblationRow, error) {
+		return core.BusyPeriodAblation(k, rho, []float64{muIs[i]})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.AblationRow
+	for _, rows := range perMu {
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// DominanceConfig describes the Theorem 3 coupled sample-path experiment:
+// policies A and B driven in lockstep over identical arrival traces, work
+// compared at every event epoch, repeated over independent traces.
+type DominanceConfig struct {
+	K                int
+	Rho, MuI, MuE    float64
+	PolicyA, PolicyB string
+	// Arrivals per trace.
+	Arrivals int
+	// Seeds is the number of independent traces (seeds 1..Seeds).
+	Seeds int
+	// Tol absorbs floating-point noise in the work comparison (default 1e-7).
+	Tol     float64
+	Workers int
+}
+
+// DominanceRun is the outcome of one coupled trace.
+type DominanceRun struct {
+	Seed       uint64
+	Checked    int
+	Violations int
+	// First is the first violation's description, empty when A dominated.
+	First string
+	// RatioAB is mean response under A divided by mean response under B on
+	// the coupled trace.
+	RatioAB float64
+}
+
+// Dominance runs the coupled experiment, one trace per pool task.
+func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error) {
+	if cfg.K < 1 || cfg.Arrivals < 1 || cfg.Seeds < 1 {
+		return nil, fmt.Errorf("exp: dominance needs k, arrivals and seeds >= 1 (got k=%d n=%d seeds=%d)",
+			cfg.K, cfg.Arrivals, cfg.Seeds)
+	}
+	if !(cfg.Rho > 0 && cfg.Rho < 1) || cfg.MuI <= 0 || cfg.MuE <= 0 {
+		return nil, fmt.Errorf("exp: dominance needs rho in (0,1) and positive service rates")
+	}
+	s := core.ForLoad(cfg.K, cfg.Rho, cfg.MuI, cfg.MuE)
+	a, err := s.PolicyByName(cfg.PolicyA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := s.PolicyByName(cfg.PolicyB)
+	if err != nil {
+		return nil, err
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-7
+	}
+	model := s.Model()
+	return Map(ctx, cfg.Workers, cfg.Seeds, func(i int) (DominanceRun, error) {
+		seed := uint64(i + 1)
+		trace := model.Trace(seed, cfg.Arrivals)
+		rep := sim.CompareWork(cfg.K, trace, a, b, tol)
+		if rep.CompletedA == 0 || rep.CompletedB == 0 {
+			return DominanceRun{}, fmt.Errorf("exp: dominance seed %d: trace of %d arrivals completed %d/%d jobs; too short to compare",
+				seed, cfg.Arrivals, rep.CompletedA, rep.CompletedB)
+		}
+		run := DominanceRun{
+			Seed: seed, Checked: rep.Checked, Violations: len(rep.Violations),
+			RatioAB: (rep.SumRespA / float64(rep.CompletedA)) / (rep.SumRespB / float64(rep.CompletedB)),
+		}
+		if len(rep.Violations) > 0 {
+			run.First = rep.Violations[0].String()
+		}
+		return run, nil
+	})
+}
+
+// RenderHeatmapASCII draws the Figure 4 heat map in the terminal: rows are
+// muE (descending, like the paper's y-axis), columns are muI; 'o' marks
+// cells where IF dominates and '+' where EF dominates, matching the paper's
+// red-circle/blue-plus convention.
+func RenderHeatmapASCII(points []HeatmapPoint) string {
+	muIs := uniqueSorted(points, func(p HeatmapPoint) float64 { return p.MuI })
+	muEs := uniqueSorted(points, func(p HeatmapPoint) float64 { return p.MuE })
+	cell := make(map[[2]float64]bool, len(points))
+	for _, p := range points {
+		cell[[2]float64{p.MuI, p.MuE}] = p.IFWins
+	}
+	var b strings.Builder
+	for r := len(muEs) - 1; r >= 0; r-- {
+		fmt.Fprintf(&b, "muE=%5.2f |", muEs[r])
+		for _, muI := range muIs {
+			if cell[[2]float64{muI, muEs[r]}] {
+				b.WriteString(" o")
+			} else {
+				b.WriteString(" +")
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("           ")
+	for range muIs {
+		b.WriteString("--")
+	}
+	b.WriteString("\n            muI: ")
+	for _, muI := range muIs {
+		fmt.Fprintf(&b, "%.2g ", muI)
+	}
+	b.WriteString("\n( o = IF superior, + = EF superior )\n")
+	return b.String()
+}
+
+// WriteHeatmapCSV emits the Figure 4 data as CSV.
+func WriteHeatmapCSV(w io.Writer, points []HeatmapPoint) error {
+	if _, err := fmt.Fprintln(w, "muI,muE,ET_IF,ET_EF,winner"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		winner := "EF"
+		if p.IFWins {
+			winner = "IF"
+		}
+		if _, err := fmt.Fprintf(w, "%g,%g,%.6f,%.6f,%s\n", p.MuI, p.MuE, p.TIF, p.TEF, winner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCurveCSV emits the Figure 5 data as CSV.
+func WriteCurveCSV(w io.Writer, points []CurvePoint) error {
+	if _, err := fmt.Fprintln(w, "muI,ET_IF,ET_EF"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%g,%.6f,%.6f\n", p.MuI, p.TIF, p.TEF); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteKCurveCSV emits the Figure 6 data as CSV.
+func WriteKCurveCSV(w io.Writer, points []KPoint) error {
+	if _, err := fmt.Fprintln(w, "k,ET_IF,ET_EF"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f\n", p.K, p.TIF, p.TEF); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteValidationTable renders the analysis-vs-simulation comparison.
+func WriteValidationTable(w io.Writer, rows []ValidationRow) error {
+	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,policy,ET_analysis,ET_simulation,rel_err"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%.6f,%.6f,%+.4f%%\n",
+			r.K, r.Rho, r.MuI, r.MuE, r.Policy, r.Analysis, r.Simulation, 100*r.RelErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func uniqueSorted(points []HeatmapPoint, get func(HeatmapPoint) float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range points {
+		v := get(p)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,189 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/plot"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Replication is the outcome of one independent simulation run of a cell.
+type Replication struct {
+	Rep         int     `json:"rep"`
+	Seed        uint64  `json:"seed"`
+	MeanT       float64 `json:"meanT"`
+	MeanTI      float64 `json:"meanTI"`
+	MeanTE      float64 `json:"meanTE"`
+	MeanN       float64 `json:"meanN"`
+	Util        float64 `json:"util"`
+	Completions int64   `json:"completions"`
+	// Trimmed counts observations discarded by MSER warmup trimming
+	// (AutoWarmup mode only).
+	Trimmed int `json:"trimmed,omitempty"`
+	// BatchCI is the within-replication batch-means 95% half-width
+	// (Batches > 1 only).
+	BatchCI float64 `json:"batchCI,omitempty"`
+	// ESS is the effective sample size of the response series, n/tau with
+	// tau the integrated autocorrelation time (series modes only).
+	ESS float64 `json:"ess,omitempty"`
+}
+
+// runReplication executes one (cell, replication) task. Panics anywhere in
+// the model, policy or simulator surface as errors for this task only.
+func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: cell %v replication %d panicked: %v", c, rep, p)
+		}
+	}()
+	seed := sw.repSeed(c, rep)
+	pol, err := c.policyImpl()
+	if err != nil {
+		return r, err
+	}
+	src, err := c.sourceImpl(seed)
+	if err != nil {
+		return r, err
+	}
+	warmup := sw.Warmup
+	if sw.AutoWarmup {
+		warmup = 0
+	}
+	cfg := sim.RunConfig{K: c.K, Policy: pol, Source: src, WarmupJobs: warmup, MaxJobs: sw.Jobs}
+	r = Replication{Rep: rep, Seed: seed}
+
+	if !sw.collectSeries() {
+		res := sim.Run(cfg)
+		r.MeanT, r.MeanTI, r.MeanTE = res.MeanT, res.MeanTI, res.MeanTE
+		r.MeanN = res.MeanN
+		r.Util = res.Metrics.Utilization(c.K)
+		r.Completions = res.Completions
+		return r, nil
+	}
+
+	series := make([]float64, 0, sw.Jobs)
+	classes := make([]sim.Class, 0, sw.Jobs)
+	res := sim.RunObserved(cfg, func(done sim.Completion) {
+		series = append(series, done.Response())
+		classes = append(classes, done.Job.Class)
+	})
+	trim := 0
+	if sw.AutoWarmup {
+		trim = stats.MSER5Trim(series)
+	}
+	tail := series[trim:]
+	if len(tail) == 0 {
+		return r, fmt.Errorf("exp: cell %v replication %d: empty response series after trimming", c, rep)
+	}
+	var total stats.Summary
+	var byClass [2]stats.Summary
+	for i, v := range tail {
+		total.Add(v)
+		byClass[classes[trim+i]].Add(v)
+	}
+	r.MeanT = total.Mean()
+	r.MeanTI = byClass[sim.Inelastic].Mean()
+	r.MeanTE = byClass[sim.Elastic].Mean()
+	r.MeanN = res.MeanN
+	r.Util = res.Metrics.Utilization(c.K)
+	r.Completions = int64(len(tail))
+	r.Trimmed = trim
+	r.ESS = stats.EffectiveSampleSize(tail)
+	if sw.Batches > 1 {
+		bm, err := stats.BatchMeans(tail, sw.Batches)
+		if err != nil {
+			return r, fmt.Errorf("exp: cell %v replication %d: %w", c, rep, err)
+		}
+		r.BatchCI = bm.CI95()
+	}
+	return r, nil
+}
+
+// CellResult aggregates a cell's replications. All aggregates are computed
+// from the Reps slice in replication order, never in completion order.
+type CellResult struct {
+	Cell Cell          `json:"cell"`
+	Reps []Replication `json:"reps"`
+	// ET is the mean response time over replication means; ETCI its 95%
+	// half-width (from replication variance when Reps >= 2, else the single
+	// replication's batch-means CI when available).
+	ET          float64 `json:"et"`
+	ETCI        float64 `json:"etCI"`
+	ETI         float64 `json:"etI"`
+	ETE         float64 `json:"etE"`
+	EN          float64 `json:"en"`
+	Util        float64 `json:"util"`
+	Completions int64   `json:"completions"`
+}
+
+func aggregate(c Cell, reps []Replication) CellResult {
+	var t, ti, te, n, u stats.Summary
+	var comp int64
+	for _, r := range reps {
+		t.Add(r.MeanT)
+		ti.Add(r.MeanTI)
+		te.Add(r.MeanTE)
+		n.Add(r.MeanN)
+		u.Add(r.Util)
+		comp += r.Completions
+	}
+	cr := CellResult{
+		Cell: c, Reps: reps,
+		ET: t.Mean(), ETI: ti.Mean(), ETE: te.Mean(),
+		EN: n.Mean(), Util: u.Mean(), Completions: comp,
+	}
+	if t.N() >= 2 {
+		cr.ETCI = t.CI95()
+	} else if len(reps) == 1 {
+		cr.ETCI = reps[0].BatchCI
+	}
+	return cr
+}
+
+// ResultSet is a completed sweep: one CellResult per grid cell, in grid
+// order.
+type ResultSet struct {
+	Sweep Sweep        `json:"sweep"`
+	Cells []CellResult `json:"cells"`
+}
+
+// WriteCSV emits one row per cell.
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions"); err != nil {
+		return err
+	}
+	for _, cr := range rs.Cells {
+		c := cr.Cell
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d\n",
+			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Policy, len(cr.Reps),
+			cr.ET, cr.ETCI, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the full result set, including per-replication detail.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// Curve extracts a plot series for one policy: x is read off each matching
+// cell, y is the cell's mean response time. Cells keep grid order, so a grid
+// swept over a sorted axis yields a sorted curve.
+func (rs *ResultSet) Curve(policy string, x func(Cell) float64) plot.Series {
+	s := plot.Series{Name: policy}
+	for _, cr := range rs.Cells {
+		if cr.Cell.Policy != policy {
+			continue
+		}
+		s.X = append(s.X, x(cr.Cell))
+		s.Y = append(s.Y, cr.ET)
+	}
+	return s
+}

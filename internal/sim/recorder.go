@@ -86,36 +86,5 @@ func (rr *ResponseRecorder) QuantileAll(q float64) float64 {
 // RunWithRecorder is sim.Run with a percentile recorder attached to the
 // post-warmup completion stream.
 func RunWithRecorder(cfg RunConfig, rr *ResponseRecorder) Result {
-	if cfg.Source == nil {
-		panic("sim: RunConfig.Source is nil")
-	}
-	if cfg.MaxJobs <= 0 {
-		panic("sim: RunConfig.MaxJobs must be positive")
-	}
-	sys := NewSystem(cfg.K, cfg.Policy)
-	horizon := cfg.Horizon
-	if horizon == 0 {
-		horizon = math.Inf(1)
-	}
-	warmupDone := cfg.WarmupJobs == 0
-	for {
-		a, ok := cfg.Source.Next()
-		if !ok || a.Time > horizon {
-			break
-		}
-		for _, c := range sys.AdvanceTo(a.Time) {
-			if warmupDone {
-				rr.Observe(c)
-			}
-		}
-		if !warmupDone && sys.Metrics().TotalCompletions() >= cfg.WarmupJobs {
-			sys.ResetMetrics()
-			warmupDone = true
-		}
-		if warmupDone && sys.Metrics().TotalCompletions() >= cfg.MaxJobs {
-			break
-		}
-		sys.Arrive(a)
-	}
-	return snapshot(sys, cfg)
+	return RunObserved(cfg, rr.Observe)
 }

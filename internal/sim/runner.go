@@ -139,6 +139,48 @@ func snapshot(sys *System, cfg RunConfig) Result {
 	}
 }
 
+// RunObserved is Run with a callback invoked for every post-warmup
+// completion, in completion-time order — the hook the experiment layer uses
+// to capture response-time series for batch-means CIs and MSER warmup
+// trimming. Unlike Run, the system is not drained after source exhaustion,
+// so the observed series covers exactly the measured steady-state window.
+func RunObserved(cfg RunConfig, observe func(Completion)) Result {
+	if cfg.Source == nil {
+		panic("sim: RunConfig.Source is nil")
+	}
+	if cfg.MaxJobs <= 0 {
+		panic("sim: RunConfig.MaxJobs must be positive")
+	}
+	sys := NewSystem(cfg.K, cfg.Policy)
+	sys.Metrics().TrackOccupancy = cfg.TrackOccupancy
+	sys.ResetMetrics()
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = math.Inf(1)
+	}
+	warmupDone := cfg.WarmupJobs == 0
+	for {
+		a, ok := cfg.Source.Next()
+		if !ok || a.Time > horizon {
+			break
+		}
+		for _, c := range sys.AdvanceTo(a.Time) {
+			if warmupDone {
+				observe(c)
+			}
+		}
+		if !warmupDone && sys.Metrics().TotalCompletions() >= cfg.WarmupJobs {
+			sys.ResetMetrics()
+			warmupDone = true
+		}
+		if warmupDone && sys.Metrics().TotalCompletions() >= cfg.MaxJobs {
+			break
+		}
+		sys.Arrive(a)
+	}
+	return snapshot(sys, cfg)
+}
+
 // NextEventTime returns the absolute time of the system's next internal
 // completion under the current allocation, or +Inf when nothing is running.
 // The coupled drivers use it to build the union event grid of two systems.

@@ -1,0 +1,64 @@
+package stats
+
+import "math"
+
+// MSERTrim returns the warmup truncation index chosen by the marginal
+// standard error rule (MSER, White 1997): the prefix length d in [0, n/2]
+// minimizing
+//
+//	MSER(d) = sum_{i=d}^{n-1} (x_i - mean(x_d..x_{n-1}))^2 / (n-d)^2,
+//
+// i.e. the truncation point that makes the remaining sample's standard
+// error smallest. Initialization bias inflates the suffix variance, so the
+// minimizer sits just past the transient. The search is capped at n/2: if
+// MSER wants to discard more than half the series, the run is too short for
+// the rule to be meaningful and callers should simulate longer. Degenerate
+// inputs (n < 4) return 0.
+func MSERTrim(series []float64) int {
+	n := len(series)
+	if n < 4 {
+		return 0
+	}
+	// Suffix sums let each candidate d be scored in O(1).
+	suffSum := make([]float64, n+1)
+	suffSq := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffSum[i] = suffSum[i+1] + series[i]
+		suffSq[i] = suffSq[i+1] + series[i]*series[i]
+	}
+	best, bestVal := 0, math.Inf(1)
+	for d := 0; d <= n/2; d++ {
+		m := float64(n - d)
+		mean := suffSum[d] / m
+		ss := suffSq[d] - m*mean*mean
+		if ss < 0 {
+			ss = 0 // cancellation noise
+		}
+		if v := ss / (m * m); v < bestVal {
+			bestVal, best = v, d
+		}
+	}
+	return best
+}
+
+// MSER5Trim is the batched variant standard in the simulation literature:
+// the series is reduced to means of non-overlapping batches of 5 before
+// applying MSERTrim, which smooths observation-level noise that would
+// otherwise make the rule too eager. The returned index is in original
+// (unbatched) observations. Series shorter than 20 observations return 0.
+func MSER5Trim(series []float64) int {
+	const batch = 5
+	n := len(series) / batch
+	if n < 4 {
+		return 0
+	}
+	batched := make([]float64, n)
+	for b := range batched {
+		sum := 0.0
+		for i := 0; i < batch; i++ {
+			sum += series[b*batch+i]
+		}
+		batched[b] = sum / batch
+	}
+	return MSERTrim(batched) * batch
+}

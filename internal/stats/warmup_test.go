@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// noise is a tiny deterministic LCG so the tests need no RNG dependency.
+func noise(state *uint64) float64 {
+	*state = *state*6364136223846793005 + 1442695040888963407
+	return float64(*state>>11) / (1 << 53)
+}
+
+func TestMSERTrimConstantSeries(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 3.5
+	}
+	if d := MSERTrim(series); d != 0 {
+		t.Fatalf("constant series trimmed at %d, want 0", d)
+	}
+}
+
+func TestMSERTrimShortSeries(t *testing.T) {
+	if d := MSERTrim([]float64{1, 2, 3}); d != 0 {
+		t.Fatalf("short series trimmed at %d, want 0", d)
+	}
+	if d := MSER5Trim(make([]float64, 19)); d != 0 {
+		t.Fatalf("short batched series trimmed at %d, want 0", d)
+	}
+}
+
+func TestMSERTrimFindsTransient(t *testing.T) {
+	// 60 inflated observations, then 540 stationary ones: the minimizer
+	// must land near the changepoint, never deep inside the tail.
+	var state uint64 = 7
+	series := make([]float64, 600)
+	for i := range series {
+		base := 1.0
+		if i < 60 {
+			base = 10 - float64(i)*0.15 // decaying transient
+		}
+		series[i] = base + 0.1*noise(&state)
+	}
+	d := MSERTrim(series)
+	if d < 40 || d > 90 {
+		t.Fatalf("trim point %d not near the 60-observation transient", d)
+	}
+}
+
+func TestMSER5TrimBatchGranularityAndBound(t *testing.T) {
+	var state uint64 = 11
+	series := make([]float64, 1000)
+	for i := range series {
+		base := 1.0
+		if i < 100 {
+			base = 25.0
+		}
+		series[i] = base + 0.2*noise(&state)
+	}
+	d := MSER5Trim(series)
+	if d%5 != 0 {
+		t.Fatalf("MSER5 trim %d not a multiple of the batch size", d)
+	}
+	if d < 95 || d > 150 {
+		t.Fatalf("trim point %d not near the 100-observation transient", d)
+	}
+	if d > len(series)/2+5 {
+		t.Fatalf("trim %d exceeds the n/2 cap", d)
+	}
+}
+
+func TestMSERTrimStationaryStaysSmall(t *testing.T) {
+	// With no transient the rule should discard (almost) nothing.
+	var state uint64 = 3
+	series := make([]float64, 500)
+	for i := range series {
+		series[i] = 2 + noise(&state)
+	}
+	d := MSERTrim(series)
+	if d > 50 {
+		t.Fatalf("stationary series trimmed at %d; expected a small prefix", d)
+	}
+	if math.IsNaN(float64(d)) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, vet, race-enabled tests, plus a short-budget fuzz
-# pass over the distribution fitters. Every PR must leave this green.
+# Tier-1 CI gate: build, vet, race-enabled tests, the exp worker-pool
+# stress test, a short-budget fuzz pass over the distribution fitters, and
+# a package-documentation check. Every PR must leave this green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> package-comment gate (go doc must be useful for every internal package)"
+missing=0
+for d in internal/*/; do
+  pkg=$(basename "$d")
+  if ! grep -q "^// Package $pkg" "$d"*.go; then
+    echo "FAIL: package $pkg lacks a '// Package $pkg ...' doc comment" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -12,6 +26,9 @@ go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> exp worker-pool race stress"
+go test -race -run 'TestWorkerPoolStressRace' -count=2 ./internal/exp
 
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
