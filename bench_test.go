@@ -22,14 +22,12 @@ package repro
 
 import (
 	"context"
-	"math"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/dist"
 	"repro/internal/exp"
-	"repro/internal/mcsim"
 	"repro/internal/mdp"
 	"repro/internal/policy"
 	"repro/internal/sim"
@@ -139,7 +137,7 @@ func BenchmarkAnalysisVsSimulation(b *testing.B) {
 func BenchmarkSamplePathDominance(b *testing.B) {
 	model := workload.ModelForLoad(4, 0.8, 1.5, 1.0)
 	trace := model.Trace(3, 20_000)
-	rivals := []sim.Policy{policy.ElasticFirst{}, policy.FCFS{}, policy.Threshold{Cap: 2}}
+	rivals := []sim.Policy{policy.ElasticFirst{}, &policy.FCFS{}, policy.Threshold{Cap: 2}}
 	var checked, violations int
 	for i := 0; i < b.N; i++ {
 		checked, violations = 0, 0
@@ -307,21 +305,48 @@ func BenchmarkOptimalPolicyMDP(b *testing.B) {
 }
 
 func BenchmarkMultiClass(b *testing.B) {
-	// Three classes with caps {1, 4, inf}: least-flexible-first vs the
-	// reverse ordering (Section 6 direction).
-	classes := []mcsim.ClassSpec{
-		{Name: "rigid", Cap: 1, Lambda: 4.0, Size: dist.NewExponential(4)},
-		{Name: "partial", Cap: 4, Lambda: 1.6, Size: dist.NewExponential(1)},
-		{Name: "elastic", Cap: math.Inf(1), Lambda: 0.6, Size: dist.NewExponential(0.25)},
+	// Three classes with caps {1, 4, inf} on the unified engine:
+	// least-flexible-first vs the reverse ordering (Section 6 direction).
+	mix := workload.Mix{Name: "bench3", Classes: []sim.ClassSpec{
+		{Name: "rigid", Speedup: sim.CappedSpeedup(1), Lambda: 4.0, Size: dist.NewExponential(4)},
+		{Name: "partial", Speedup: sim.CappedSpeedup(4), Lambda: 1.6, Size: dist.NewExponential(1)},
+		{Name: "elastic", Speedup: sim.LinearSpeedup(), Lambda: 0.6, Size: dist.NewExponential(0.25)},
+	}}
+	runOrder := func(order []int) float64 {
+		res := sim.Run(sim.RunConfig{
+			K: 8, Policy: policy.ClassPriority{Order: order},
+			Source: mix.Source(9), Classes: mix.Classes,
+			WarmupJobs: 10_000, MaxJobs: 120_000,
+		})
+		return res.MeanT
 	}
 	var lff, rev float64
 	for i := 0; i < b.N; i++ {
-		a := mcsim.Run(8, classes, mcsim.PriorityOrder{Order: []int{0, 1, 2}}, 9, 10_000, 120_000)
-		c := mcsim.Run(8, classes, mcsim.PriorityOrder{Order: []int{2, 1, 0}}, 9, 10_000, 120_000)
-		lff, rev = a.MeanResponseAll(), c.MeanResponseAll()
+		lff = runOrder([]int{0, 1, 2})
+		rev = runOrder([]int{2, 1, 0})
 	}
 	b.ReportMetric(lff, "ET-least-flexible-first")
 	b.ReportMetric(rev, "ET-most-flexible-first")
+}
+
+func BenchmarkPartialElasticity(b *testing.B) {
+	// Section 6 partial elasticity end to end: the four-class Amdahl mix
+	// under LFF vs EQUI on the unified engine.
+	mix := workload.PartialElasticity(8, 0.7)
+	var lff, equi float64
+	for i := 0; i < b.N; i++ {
+		lffRes := sim.Run(sim.RunConfig{
+			K: 8, Policy: &policy.LeastFlexibleFirst{}, Source: mix.Source(9),
+			Classes: mix.Classes, WarmupJobs: 10_000, MaxJobs: 120_000,
+		})
+		equiRes := sim.Run(sim.RunConfig{
+			K: 8, Policy: policy.Equi{}, Source: mix.Source(9),
+			Classes: mix.Classes, WarmupJobs: 10_000, MaxJobs: 120_000,
+		})
+		lff, equi = lffRes.MeanT, equiRes.MeanT
+	}
+	b.ReportMetric(lff, "ET-LFF")
+	b.ReportMetric(equi, "ET-EQUI")
 }
 
 func abs(x float64) float64 {

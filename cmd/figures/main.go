@@ -7,6 +7,7 @@
 //	figures -fig 6            # scaling curves of Figure 6a/6b
 //	figures -fig validate     # analysis-vs-simulation agreement table
 //	figures -fig ablation     # busy-period fit ablation
+//	figures -fig mix          # Section 6 class-mix sweep (N-class engine)
 //	figures -fig all          # everything, written to -outdir
 package main
 
@@ -51,7 +52,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig     = flag.String("fig", "all", "which artifact: 4, 5, 6, validate, ablation, all")
+		fig     = flag.String("fig", "all", "which artifact: 4, 5, 6, validate, ablation, mix, all")
 		outdir  = flag.String("outdir", "", "write CSVs here instead of stdout")
 		quick   = flag.Bool("quick", false, "smaller grids / shorter simulations")
 		svg     = flag.Bool("svg", false, "also render SVG figures into -outdir")
@@ -214,6 +215,54 @@ func main() {
 		closeFn()
 	}
 
+	// runMix sweeps the Section 6 class-mix presets end to end on the
+	// unified N-class engine: every mix × policy cell is one simulation
+	// replication set on the worker pool.
+	runMix := func() {
+		sweep := exp.Sweep{
+			Name: "figures-mix",
+			Grid: exp.Grid{
+				K:        []int{8},
+				Rho:      []float64{0.5, 0.7},
+				Mixes:    []string{"threeclass", "partialelastic", "cappedladder"},
+				Policies: []string{"LFF", "SMF", "EF", "EQUI", "FCFS"},
+			},
+			Reps: 3, Warmup: 20_000, Jobs: 200_000,
+		}
+		if *quick {
+			sweep.Grid.Rho = []float64{0.7}
+			sweep.Reps = 1
+			sweep.Warmup, sweep.Jobs = 5_000, 50_000
+		}
+		rs, err := exp.Run(ctx, sweep, exp.Options{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, closeFn := out("mix_classes.csv")
+		if err := rs.WriteCSV(w); err != nil {
+			log.Fatal(err)
+		}
+		closeFn()
+		fmt.Println("class-mix sweep written (Section 6 scenarios, overall and per-class E[T]).")
+		for _, mixName := range sweep.Grid.Mixes {
+			ch := plot.LineChart{
+				Title:  fmt.Sprintf("Class mix %s: E[T] vs rho (k=8)", mixName),
+				XLabel: "rho", YLabel: "E[T]",
+			}
+			for _, pol := range sweep.Grid.Policies {
+				var xs, ys []float64
+				for _, cr := range rs.Cells {
+					if cr.Cell.Mix == mixName && cr.Cell.Policy == pol {
+						xs = append(xs, cr.Cell.Rho)
+						ys = append(ys, cr.ET)
+					}
+				}
+				ch.Series = append(ch.Series, plot.Series{Name: pol, X: xs, Y: ys})
+			}
+			writeSVG("mix_"+mixName+".svg", ch.Render)
+		}
+	}
+
 	runAblation := func() {
 		muIs := []float64{0.5, 1.0, 2.0}
 		if *quick {
@@ -243,12 +292,15 @@ func main() {
 		runValidate()
 	case "ablation":
 		runAblation()
+	case "mix":
+		runMix()
 	case "all":
 		runFig4()
 		runFig5()
 		runFig6()
 		runValidate()
 		runAblation()
+		runMix()
 	default:
 		log.Fatalf("unknown figure %q", *fig)
 	}

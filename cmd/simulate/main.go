@@ -10,6 +10,7 @@
 //	simulate -k 4 -rho 0.7 -muI 2 -muE 1 -policy THRESH:2 -reps 5
 //	simulate -k 4,8 -rho 0.5,0.7,0.9 -muI 2 -muE 1 -policy IF,EF -reps 3 -workers 8
 //	simulate -k 8 -rho 0.7 -scenario mapreduce,mlplatform -policy IF,EF
+//	simulate -k 8 -rho 0.5,0.7 -mix threeclass,partialelastic -policy LFF,EQUI,EF
 //	simulate -k 4 -rho 0.9 -muI 1 -muE 1 -policy IF -cache sweep.jsonl -csv out.csv
 package main
 
@@ -69,8 +70,9 @@ func main() {
 		rho      = flag.String("rho", "0.7", "system loads in (0,1), lambdaI=lambdaE (comma-separated)")
 		muI      = flag.String("muI", "1", "inelastic service rates (comma-separated)")
 		muE      = flag.String("muE", "1", "elastic service rates (comma-separated)")
-		pol      = flag.String("policy", "IF", "policies: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT, THRESH:<cap> (comma-separated)")
-		scenario = flag.String("scenario", "", "sweep workload presets instead of -muI/-muE: mapreduce, mlplatform, hpcmalleable (comma-separated)")
+		pol      = flag.String("policy", "IF", "policies: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT, LFF, SMF, THRESH:<cap>, PRIO:<c0>><c1>>... (comma-separated; use '>' inside PRIO orders)")
+		scenario = flag.String("scenario", "", "sweep two-class workload presets instead of -muI/-muE: mapreduce, mlplatform, hpcmalleable (comma-separated)")
+		mix      = flag.String("mix", "", "sweep N-class workload presets instead of -muI/-muE: threeclass, partialelastic, cappedladder (comma-separated)")
 		jobs     = flag.Int64("jobs", 500_000, "measured completions per replication")
 		warmup   = flag.Int64("warmup", 50_000, "completions discarded as warmup")
 		autoWarm = flag.Bool("auto-warmup", false, "MSER-5 warmup trimming instead of a fixed -warmup budget")
@@ -105,6 +107,7 @@ func main() {
 			Rho:       parseFloats("rho", *rho),
 			Policies:  policies,
 			Scenarios: parseList(*scenario),
+			Mixes:     parseList(*mix),
 		},
 		Reps:       *reps,
 		BaseSeed:   *seed,
@@ -113,15 +116,18 @@ func main() {
 		AutoWarmup: *autoWarm,
 		Batches:    *batches,
 	}
-	if len(sweep.Grid.Scenarios) == 0 {
+	if len(sweep.Grid.Scenarios) > 0 && len(sweep.Grid.Mixes) > 0 {
+		log.Fatal("-scenario and -mix are mutually exclusive")
+	}
+	if len(sweep.Grid.Scenarios) == 0 && len(sweep.Grid.Mixes) == 0 {
 		sweep.Grid.MuI = parseFloats("muI", *muI)
 		sweep.Grid.MuE = parseFloats("muE", *muE)
 	} else {
-		// Scenario presets fix their own size distributions; explicit
+		// Workload presets fix their own size distributions; explicit
 		// service-rate flags would be silently meaningless.
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "muI" || f.Name == "muE" {
-				log.Fatalf("-%s cannot be combined with -scenario (presets fix their size distributions)", f.Name)
+				log.Fatalf("-%s cannot be combined with -scenario/-mix (presets fix their size distributions)", f.Name)
 			}
 		})
 	}
@@ -147,8 +153,8 @@ func main() {
 
 	cells := len(rs.Cells)
 	fmt.Printf("sweep: %d cells x %d reps, %d jobs/rep (seed %d)\n\n", cells, *reps, *jobs, *seed)
-	fmt.Printf("%-3s %-5s %-5s %-5s %-12s %-10s %10s %10s %10s %10s %10s %8s %9s\n",
-		"k", "rho", "muI", "muE", "scenario", "policy", "E[T]", "±95%", "E[T_I]", "E[T_E]", "E[N]", "util", "jobs")
+	fmt.Printf("%-3s %-5s %-5s %-5s %-14s %-10s %10s %10s %10s %10s %10s %8s %9s\n",
+		"k", "rho", "muI", "muE", "preset", "policy", "E[T]", "±95%", "E[T_I]", "E[T_E]", "E[N]", "util", "jobs")
 	for _, cr := range rs.Cells {
 		c := cr.Cell
 		// No CI exists for a single replication without batch means; show
@@ -157,8 +163,19 @@ func main() {
 		if len(cr.Reps) < 2 && cr.ETCI == 0 {
 			ci = fmt.Sprintf("%10s", "-")
 		}
-		fmt.Printf("%-3d %-5g %-5g %-5g %-12s %-10s %10.6f %s %10.6f %10.6f %10.6f %8.4f %9d\n",
-			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Policy, cr.ET, ci, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions)
+		preset := c.Scenario
+		if c.Mix != "" {
+			preset = c.Mix
+		}
+		fmt.Printf("%-3d %-5g %-5g %-5g %-14s %-10s %10.6f %s %10.6f %10.6f %10.6f %8.4f %9d\n",
+			c.K, c.Rho, c.MuI, c.MuE, preset, c.Policy, cr.ET, ci, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions)
+		if len(cr.ETPerClass) > 2 {
+			fmt.Printf("%-9s per-class E[T]:", "")
+			for i, v := range cr.ETPerClass {
+				fmt.Printf(" [%d]=%.6f", i, v)
+			}
+			fmt.Println()
+		}
 	}
 
 	if *csvPath != "" {

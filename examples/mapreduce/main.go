@@ -26,7 +26,7 @@ func main() {
 	policies := []sim.Policy{
 		policy.InelasticFirst{},
 		policy.ElasticFirst{},
-		policy.FCFS{},
+		&policy.FCFS{},
 		policy.Equi{},
 	}
 	type row struct {

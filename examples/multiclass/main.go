@@ -1,9 +1,11 @@
 // Multi-class extension (Section 6 of the paper): more than two job classes
-// with different levels of parallelizability. A cluster serves three
-// classes — rigid queries (cap 1), partially elastic analytics (cap 4), and
-// fully elastic batch jobs — and the example compares every strict priority
-// ordering, showing that the Inelastic-First intuition generalizes: defer
-// the most flexible work.
+// with different levels of parallelizability, on the unified N-class engine.
+// A cluster serves three classes — rigid queries (cap 1), partially elastic
+// analytics (cap 4), and fully elastic batch jobs — and the example compares
+// every strict priority ordering, showing that the Inelastic-First intuition
+// generalizes: defer the most flexible work. A second pass swaps the capped
+// analytics class for an Amdahl's-law class to show partial elasticity
+// (Section 6's "speedup function" view) on the same engine.
 package main
 
 import (
@@ -12,23 +14,31 @@ import (
 	"sort"
 
 	"repro/internal/dist"
-	"repro/internal/mcsim"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
+
+func run(k int, mix workload.Mix, p sim.Policy, seed uint64, warmup, jobs int64) sim.Result {
+	return sim.Run(sim.RunConfig{
+		K: k, Policy: p, Source: mix.Source(seed), Classes: mix.Classes,
+		WarmupJobs: warmup, MaxJobs: jobs,
+	})
+}
 
 func main() {
 	const k = 8
-	classes := []mcsim.ClassSpec{
-		{Name: "query(cap=1)", Cap: 1, Lambda: 4.0, Size: dist.NewExponential(4)},                // mean 0.25
-		{Name: "analytics(cap=4)", Cap: 4, Lambda: 1.6, Size: dist.NewExponential(1)},            // mean 1
-		{Name: "batch(elastic)", Cap: math.Inf(1), Lambda: 0.6, Size: dist.NewExponential(0.25)}, // mean 4
+	mix := workload.Mix{
+		Name: "threeclass",
+		Classes: []sim.ClassSpec{
+			{Name: "query(cap=1)", Speedup: sim.CappedSpeedup(1), Lambda: 4.0, Size: dist.NewExponential(4)},      // mean 0.25
+			{Name: "analytics(cap=4)", Speedup: sim.CappedSpeedup(4), Lambda: 1.6, Size: dist.NewExponential(1)},  // mean 1
+			{Name: "batch(elastic)", Speedup: sim.LinearSpeedup(), Lambda: 0.6, Size: dist.NewExponential(0.25)},  // mean 4
+		},
 	}
-	load := 0.0
-	for _, c := range classes {
-		load += c.Lambda * c.Size.Mean()
-	}
-	fmt.Printf("three-class cluster: k=%d, rho=%.2f\n", k, load/k)
-	for _, c := range classes {
-		fmt.Printf("  %-18s lambda=%.1f mean size=%.2f\n", c.Name, c.Lambda, c.Size.Mean())
+	fmt.Printf("three-class cluster: k=%d, rho=%.2f\n", k, mix.Rho(k))
+	for _, c := range mix.Classes {
+		fmt.Printf("  %-18s lambda=%.1f mean size=%.2f speedup=%s\n", c.Name, c.Lambda, c.Size.Mean(), c.Speedup)
 	}
 	fmt.Println()
 
@@ -39,8 +49,8 @@ func main() {
 	var results []result
 	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
 	for _, order := range perms {
-		sys := mcsim.Run(k, classes, mcsim.PriorityOrder{Order: order}, 9, 20_000, 250_000)
-		results = append(results, result{order, sys.MeanResponseAll()})
+		res := run(k, mix, policy.ClassPriority{Order: order}, 9, 20_000, 250_000)
+		results = append(results, result{order, res.MeanT})
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].et < results[j].et })
 
@@ -51,7 +61,7 @@ func main() {
 			if i > 0 {
 				names += " > "
 			}
-			names += classes[c].Name
+			names += mix.Classes[c].Name
 		}
 		fmt.Printf("  %8.4f  %s\n", r.et, names)
 	}
@@ -60,7 +70,23 @@ func main() {
 	fmt.Println("Inelastic-First intuition carried to many classes.")
 
 	best := results[0].order
-	if classes[best[len(best)-1]].Cap != math.Inf(1) {
+	if !math.IsInf(mix.Classes[best[len(best)-1]].Cap(), 1) {
 		fmt.Println("WARNING: best order did not defer the elastic class — worth a look.")
+	}
+
+	// Partial elasticity: replace the capped analytics class by an
+	// Amdahl's-law class (serial fraction 0.1, at most 4 servers per job)
+	// and compare least-flexible-first against EQUI on the same arrival
+	// process.
+	amdahl := mix
+	amdahl.Classes = append([]sim.ClassSpec(nil), mix.Classes...)
+	amdahl.Classes[1].Name = "analytics(amdahl)"
+	amdahl.Classes[1].Speedup = sim.AmdahlSpeedup(0.1)
+	amdahl.Classes[1].MaxServers = 4
+	lff := run(k, amdahl, &policy.LeastFlexibleFirst{}, 9, 20_000, 250_000)
+	equi := run(k, amdahl, policy.Equi{}, 9, 20_000, 250_000)
+	fmt.Printf("\npartial elasticity (Amdahl analytics): E[T] LFF=%.4f EQUI=%.4f\n", lff.MeanT, equi.MeanT)
+	for c, spec := range amdahl.Classes {
+		fmt.Printf("  %-18s E[T] LFF=%.4f EQUI=%.4f\n", spec.Name, lff.PerClassT[c], equi.PerClassT[c])
 	}
 }

@@ -21,7 +21,7 @@ func main() {
 
 	rivals := []sim.Policy{
 		policy.ElasticFirst{},
-		policy.FCFS{},
+		&policy.FCFS{},
 		policy.Threshold{Cap: 1},
 		policy.Threshold{Cap: 2},
 		policy.Threshold{Cap: 3},

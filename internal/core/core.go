@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/ctmc"
 	"repro/internal/mrt"
@@ -71,29 +73,97 @@ func (s System) Analyze() (ifRes, efRes mrt.Result, err error) {
 }
 
 // PolicyByName returns one of the built-in allocation policies. Recognized
-// names: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT and THRESH:<cap>.
+// names: IF, EF, FCFS, EQUI, GREEDY, DEFER, SRPT, LFF, SMF, THRESH:<cap>
+// and PRIO:<c0>,<c1>,... (strict class priority in the given order). Each
+// call returns a fresh policy instance: stateful policies maintain reusable
+// buffers, so instances must not be shared across concurrently running
+// systems.
 func (s System) PolicyByName(name string) (sim.Policy, error) {
+	return PolicyByName(name, s.MuI, s.MuE)
+}
+
+// PolicyByName resolves a policy name without a full two-class System; muI
+// and muE parameterize GREEDY (pass zeros when it is not used).
+func PolicyByName(name string, muI, muE float64) (sim.Policy, error) {
 	switch name {
 	case "IF":
 		return policy.InelasticFirst{}, nil
 	case "EF":
 		return policy.ElasticFirst{}, nil
 	case "FCFS":
-		return policy.FCFS{}, nil
+		return &policy.FCFS{}, nil
 	case "EQUI":
 		return policy.Equi{}, nil
 	case "GREEDY":
-		return policy.Greedy{MuI: s.MuI, MuE: s.MuE}, nil
+		return policy.Greedy{MuI: muI, MuE: muE}, nil
 	case "DEFER":
 		return policy.DeferElastic{}, nil
 	case "SRPT":
-		return policy.SRPTK{}, nil
+		return &policy.SRPTK{}, nil
+	case "LFF":
+		return &policy.LeastFlexibleFirst{}, nil
+	case "SMF":
+		return &policy.SmallestMeanFirst{}, nil
 	}
 	var capN int
 	if n, _ := fmt.Sscanf(name, "THRESH:%d", &capN); n == 1 {
 		return policy.Threshold{Cap: capN}, nil
 	}
+	if rest, ok := strings.CutPrefix(name, "PRIO:"); ok {
+		var order []int
+		for _, part := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == '>' }) {
+			c, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || c < 0 {
+				return nil, fmt.Errorf("core: bad class index %q in policy %q", part, name)
+			}
+			order = append(order, c)
+		}
+		if len(order) == 0 {
+			return nil, fmt.Errorf("core: empty priority order in policy %q", name)
+		}
+		return policy.ClassPriority{Order: order}, nil
+	}
 	return nil, fmt.Errorf("core: unknown policy %q", name)
+}
+
+// ValidatePolicyClasses checks that a resolved policy is applicable to a
+// system with the given job classes: PRIO orders must be a permutation of
+// the class set (out-of-range, missing or duplicated classes would starve
+// work or idle servers), the two-class-only families (THRESH, GREEDY) are
+// rejected on other class counts, and SMF requires size distributions.
+// Sweep layers call this at validation time so a bad combination fails the
+// flag parse, not a worker mid-simulation.
+func ValidatePolicyClasses(p sim.Policy, classes []sim.ClassSpec) error {
+	numClasses := len(classes)
+	switch pol := p.(type) {
+	case policy.ClassPriority:
+		seen := make([]bool, numClasses)
+		for _, c := range pol.Order {
+			if c < 0 || c >= numClasses {
+				return fmt.Errorf("core: policy %s names class %d on a %d-class system", pol.Name(), c, numClasses)
+			}
+			if seen[c] {
+				return fmt.Errorf("core: policy %s lists class %d twice (a priority order must be a permutation of the classes)", pol.Name(), c)
+			}
+			seen[c] = true
+		}
+		for c, ok := range seen {
+			if !ok {
+				return fmt.Errorf("core: policy %s never serves class %d (a priority order must cover every class)", pol.Name(), c)
+			}
+		}
+	case policy.Threshold, policy.Greedy:
+		if numClasses != 2 {
+			return fmt.Errorf("core: policy %s is two-class only (system has %d classes)", p.Name(), numClasses)
+		}
+	case *policy.SmallestMeanFirst:
+		for c, spec := range classes {
+			if spec.Size == nil {
+				return fmt.Errorf("core: policy SMF needs a size distribution for every class (class %d has none)", c)
+			}
+		}
+	}
+	return nil
 }
 
 // SimOptions controls a simulation run.

@@ -136,3 +136,56 @@ func BenchmarkPushPop(b *testing.B) {
 		q.Push(e.Time+r.Float64()*100, nil)
 	}
 }
+
+// TestAppendFixMatchesPush: building a heap with bulk Append + Fix must
+// dequeue in exactly the same order as incremental Push, including
+// insertion-order tie-breaking.
+func TestAppendFixMatchesPush(t *testing.T) {
+	r := xrand.New(7)
+	times := make([]float64, 300)
+	for i := range times {
+		// Coarse values force plenty of exact ties.
+		times[i] = float64(r.Intn(20))
+	}
+	var pushed, appended Queue
+	for i, tm := range times {
+		pushed.Push(tm, i)
+		appended.Append(tm, i)
+	}
+	appended.Fix()
+	for pushed.Len() > 0 {
+		a, b := pushed.Pop(), appended.Pop()
+		if a.Time != b.Time || a.Payload.(int) != b.Payload.(int) {
+			t.Fatalf("Append+Fix order diverged: Push gave (%v, %v), Append gave (%v, %v)",
+				a.Time, a.Payload, b.Time, b.Payload)
+		}
+	}
+	if appended.Len() != 0 {
+		t.Fatal("length mismatch")
+	}
+}
+
+// TestAppendFixReusesCapacity: Clear + Append within capacity must not
+// allocate — the engine rebuilds its future-event list every event.
+func TestAppendFixReusesCapacity(t *testing.T) {
+	var q Queue
+	payloads := make([]*int, 64)
+	for i := range payloads {
+		payloads[i] = new(int)
+	}
+	for i, p := range payloads {
+		q.Append(float64(i), p)
+	}
+	q.Fix()
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Clear()
+		for i, p := range payloads {
+			q.Append(float64(63-i), p)
+		}
+		q.Fix()
+		q.Peek()
+	})
+	if allocs > 0 {
+		t.Fatalf("Clear+Append+Fix allocated %.1f times per rebuild", allocs)
+	}
+}

@@ -32,13 +32,15 @@ import (
 	"hash/fnv"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // Cell is one parameter assignment of a sweep: a fully-specified system
-// configuration plus the policy to run. Either the exponential model fields
-// (MuI, MuE) or a Scenario preset name is set, never both.
+// configuration plus the policy to run. Exactly one of the exponential
+// model fields (MuI, MuE), a two-class Scenario preset name, or an N-class
+// Mix preset name is set.
 type Cell struct {
 	K        int     `json:"k"`
 	Rho      float64 `json:"rho"`
@@ -46,11 +48,17 @@ type Cell struct {
 	MuE      float64 `json:"muE,omitempty"`
 	Policy   string  `json:"policy"`
 	Scenario string  `json:"scenario,omitempty"`
+	// Mix names an N-class workload preset (workload.MixByName): the
+	// Section 6 scenarios with capped and partially elastic classes.
+	Mix string `json:"mix,omitempty"`
 }
 
 // String returns the canonical form used for hashing and seeding; two cells
 // with equal strings are the same experiment point.
 func (c Cell) String() string {
+	if c.Mix != "" {
+		return fmt.Sprintf("mix=%s k=%d rho=%g policy=%s", c.Mix, c.K, c.Rho, c.Policy)
+	}
 	if c.Scenario != "" {
 		return fmt.Sprintf("scenario=%s k=%d rho=%g policy=%s", c.Scenario, c.K, c.Rho, c.Policy)
 	}
@@ -64,7 +72,10 @@ func (c Cell) validate() error {
 	if !(c.Rho > 0 && c.Rho < 1) {
 		return fmt.Errorf("cell %v: rho must be in (0, 1)", c)
 	}
-	if c.Scenario == "" && (c.MuI <= 0 || c.MuE <= 0) {
+	if c.Scenario != "" && c.Mix != "" {
+		return fmt.Errorf("cell %v: Scenario and Mix are mutually exclusive", c)
+	}
+	if c.Scenario == "" && c.Mix == "" && (c.MuI <= 0 || c.MuE <= 0) {
 		return fmt.Errorf("cell %v: service rates must be positive", c)
 	}
 	if c.Scenario != "" {
@@ -72,15 +83,57 @@ func (c Cell) validate() error {
 			return err
 		}
 	}
-	if _, err := c.policyImpl(); err != nil {
+	specs, err := c.classesImpl()
+	if err != nil {
 		return err
+	}
+	pol, err := c.policyImpl()
+	if err != nil {
+		return err
+	}
+	if err := core.ValidatePolicyClasses(pol, specs); err != nil {
+		return fmt.Errorf("cell %v: %w", c, err)
 	}
 	return nil
 }
 
+// classesImpl returns the cell's job classes. Two-class cells (classic and
+// scenario) return the preset with their size distributions attached, so
+// size-aware class orderings (SMF) work on every cell kind; the engine
+// itself ignores the extra fields, so this is behavior-identical to the
+// bare preset for size-blind policies.
+func (c Cell) classesImpl() ([]sim.ClassSpec, error) {
+	if c.Mix != "" {
+		mix, err := workload.MixByName(c.Mix, c.K, c.Rho)
+		if err != nil {
+			return nil, err
+		}
+		return mix.Classes, nil
+	}
+	specs := sim.TwoClassSpecs()
+	if c.Scenario != "" {
+		sc, err := scenarioByName(c.Scenario, c.K, c.Rho)
+		if err != nil {
+			return nil, err
+		}
+		specs[0].Lambda, specs[0].Size = sc.LambdaI, sc.SizeI
+		specs[1].Lambda, specs[1].Size = sc.LambdaE, sc.SizeE
+		return specs, nil
+	}
+	model := workload.ModelForLoad(c.K, c.Rho, c.MuI, c.MuE)
+	specs[0].Lambda, specs[0].Size = model.LambdaI, dist.NewExponential(c.MuI)
+	specs[1].Lambda, specs[1].Size = model.LambdaE, dist.NewExponential(c.MuE)
+	return specs, nil
+}
+
 // policyImpl resolves the cell's policy name. Scenario cells derive the
-// rate parameters needed by GREEDY from the preset's mean sizes.
+// rate parameters needed by GREEDY from the preset's mean sizes; mix cells
+// resolve class-generic policies (IF, EF, LFF, SMF, EQUI, FCFS, DEFER,
+// SRPT, PRIO:...).
 func (c Cell) policyImpl() (sim.Policy, error) {
+	if c.Mix != "" {
+		return core.PolicyByName(c.Policy, 0, 0)
+	}
 	s := core.System{K: c.K, LambdaI: 1, LambdaE: 1, MuI: c.MuI, MuE: c.MuE}
 	if c.Scenario != "" {
 		sc, err := scenarioByName(c.Scenario, c.K, c.Rho)
@@ -95,6 +148,13 @@ func (c Cell) policyImpl() (sim.Policy, error) {
 
 // sourceImpl builds the cell's arrival source for one replication seed.
 func (c Cell) sourceImpl(seed uint64) (sim.ArrivalSource, error) {
+	if c.Mix != "" {
+		mix, err := workload.MixByName(c.Mix, c.K, c.Rho)
+		if err != nil {
+			return nil, err
+		}
+		return mix.Source(seed), nil
+	}
 	if c.Scenario != "" {
 		sc, err := scenarioByName(c.Scenario, c.K, c.Rho)
 		if err != nil {
@@ -131,8 +191,9 @@ func scenarioByName(name string, k int, rho float64) (sc workload.Scenario, err 
 
 // Grid declares a cartesian parameter grid. Cells expand in row-major order
 // K → Rho → MuI → MuE → Policy (or K → Rho → Scenario → Policy when
-// Scenarios is set, in which case MuI/MuE must be empty). An empty Policies
-// list defaults to IF.
+// Scenarios is set, or K → Rho → Mix → Policy when Mixes is set; the three
+// axes are mutually exclusive and MuI/MuE must be empty with either preset
+// axis). An empty Policies list defaults to IF.
 type Grid struct {
 	K         []int     `json:"k"`
 	Rho       []float64 `json:"rho"`
@@ -140,6 +201,9 @@ type Grid struct {
 	MuE       []float64 `json:"muE,omitempty"`
 	Policies  []string  `json:"policies"`
 	Scenarios []string  `json:"scenarios,omitempty"`
+	// Mixes sweeps N-class workload presets (workload.MixNames) — the
+	// class-mix axis over the Section 6 scenarios.
+	Mixes []string `json:"mixes,omitempty"`
 }
 
 // Cells expands the grid into its cartesian product.
@@ -151,6 +215,14 @@ func (g Grid) Cells() []Cell {
 	var out []Cell
 	for _, k := range g.K {
 		for _, rho := range g.Rho {
+			if len(g.Mixes) > 0 {
+				for _, mix := range g.Mixes {
+					for _, p := range pols {
+						out = append(out, Cell{K: k, Rho: rho, Mix: mix, Policy: p})
+					}
+				}
+				continue
+			}
 			if len(g.Scenarios) > 0 {
 				for _, sc := range g.Scenarios {
 					for _, p := range pols {
@@ -224,12 +296,15 @@ func (sw Sweep) validate() error {
 	if sw.Batches < 0 || sw.Batches == 1 {
 		return fmt.Errorf("exp: sweep %q: Batches must be 0 (off) or >= 2 (got %d)", sw.Name, sw.Batches)
 	}
-	if len(sw.Grid.Scenarios) > 0 && (len(sw.Grid.MuI) > 0 || len(sw.Grid.MuE) > 0) {
-		return fmt.Errorf("exp: sweep %q: Scenarios and MuI/MuE are mutually exclusive (presets fix their size distributions)", sw.Name)
+	if (len(sw.Grid.Scenarios) > 0 || len(sw.Grid.Mixes) > 0) && (len(sw.Grid.MuI) > 0 || len(sw.Grid.MuE) > 0) {
+		return fmt.Errorf("exp: sweep %q: Scenarios/Mixes and MuI/MuE are mutually exclusive (presets fix their size distributions)", sw.Name)
+	}
+	if len(sw.Grid.Scenarios) > 0 && len(sw.Grid.Mixes) > 0 {
+		return fmt.Errorf("exp: sweep %q: Scenarios and Mixes are mutually exclusive", sw.Name)
 	}
 	cells := sw.Grid.Cells()
 	if len(cells) == 0 {
-		return fmt.Errorf("exp: sweep %q has an empty grid (need K, Rho and MuI/MuE or Scenarios)", sw.Name)
+		return fmt.Errorf("exp: sweep %q has an empty grid (need K, Rho and MuI/MuE, Scenarios or Mixes)", sw.Name)
 	}
 	for _, c := range cells {
 		if err := c.validate(); err != nil {

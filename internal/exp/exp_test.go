@@ -486,7 +486,7 @@ func TestResultSetEmitters(t *testing.T) {
 	if len(lines) != 1+len(rs.Cells) {
 		t.Fatalf("csv has %d lines, want %d", len(lines), 1+len(rs.Cells))
 	}
-	if !strings.HasPrefix(lines[0], "k,rho,muI,muE,scenario,policy") {
+	if !strings.HasPrefix(lines[0], "k,rho,muI,muE,scenario,mix,policy") {
 		t.Fatalf("csv header: %s", lines[0])
 	}
 	var js strings.Builder

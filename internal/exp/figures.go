@@ -195,12 +195,14 @@ func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error)
 		return nil, fmt.Errorf("exp: dominance needs rho in (0,1) and positive service rates")
 	}
 	s := core.ForLoad(cfg.K, cfg.Rho, cfg.MuI, cfg.MuE)
-	a, err := s.PolicyByName(cfg.PolicyA)
-	if err != nil {
+	// Validate the policy names up front; the per-task instances are
+	// constructed inside each task because stateful policies (FCFS, SRPT,
+	// LFF, SMF) maintain reusable buffers that must not be shared across
+	// pool workers.
+	if _, err := s.PolicyByName(cfg.PolicyA); err != nil {
 		return nil, err
 	}
-	b, err := s.PolicyByName(cfg.PolicyB)
-	if err != nil {
+	if _, err := s.PolicyByName(cfg.PolicyB); err != nil {
 		return nil, err
 	}
 	tol := cfg.Tol
@@ -210,6 +212,14 @@ func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error)
 	model := s.Model()
 	return Map(ctx, cfg.Workers, cfg.Seeds, func(i int) (DominanceRun, error) {
 		seed := uint64(i + 1)
+		a, err := s.PolicyByName(cfg.PolicyA)
+		if err != nil {
+			return DominanceRun{}, err
+		}
+		b, err := s.PolicyByName(cfg.PolicyB)
+		if err != nil {
+			return DominanceRun{}, err
+		}
 		trace := model.Trace(seed, cfg.Arrivals)
 		rep := sim.CompareWork(cfg.K, trace, a, b, tol)
 		if rep.CompletedA == 0 || rep.CompletedB == 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/plot"
 	"repro/internal/sim"
@@ -12,14 +13,17 @@ import (
 
 // Replication is the outcome of one independent simulation run of a cell.
 type Replication struct {
-	Rep         int     `json:"rep"`
-	Seed        uint64  `json:"seed"`
-	MeanT       float64 `json:"meanT"`
-	MeanTI      float64 `json:"meanTI"`
-	MeanTE      float64 `json:"meanTE"`
-	MeanN       float64 `json:"meanN"`
-	Util        float64 `json:"util"`
-	Completions int64   `json:"completions"`
+	Rep    int     `json:"rep"`
+	Seed   uint64  `json:"seed"`
+	MeanT  float64 `json:"meanT"`
+	MeanTI float64 `json:"meanTI"`
+	MeanTE float64 `json:"meanTE"`
+	// PerClass holds the per-class mean response times for cells with more
+	// than two classes (class-mix cells); MeanTI/MeanTE mirror classes 0/1.
+	PerClass    []float64 `json:"perClass,omitempty"`
+	MeanN       float64   `json:"meanN"`
+	Util        float64   `json:"util"`
+	Completions int64     `json:"completions"`
 	// Trimmed counts observations discarded by MSER warmup trimming
 	// (AutoWarmup mode only).
 	Trimmed int `json:"trimmed,omitempty"`
@@ -48,22 +52,34 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 	if err != nil {
 		return r, err
 	}
+	specs, err := c.classesImpl()
+	if err != nil {
+		return r, err
+	}
 	warmup := sw.Warmup
 	if sw.AutoWarmup {
 		warmup = 0
 	}
-	cfg := sim.RunConfig{K: c.K, Policy: pol, Source: src, WarmupJobs: warmup, MaxJobs: sw.Jobs}
+	cfg := sim.RunConfig{K: c.K, Policy: pol, Source: src, Classes: specs,
+		WarmupJobs: warmup, MaxJobs: sw.Jobs}
 	r = Replication{Rep: rep, Seed: seed}
 
 	if !sw.collectSeries() {
 		res := sim.Run(cfg)
 		r.MeanT, r.MeanTI, r.MeanTE = res.MeanT, res.MeanTI, res.MeanTE
+		if len(res.PerClassT) > 2 {
+			r.PerClass = res.PerClassT
+		}
 		r.MeanN = res.MeanN
 		r.Util = res.Metrics.Utilization(c.K)
 		r.Completions = res.Completions
 		return r, nil
 	}
 
+	numClasses := 2
+	if specs != nil {
+		numClasses = len(specs)
+	}
 	series := make([]float64, 0, sw.Jobs)
 	classes := make([]sim.Class, 0, sw.Jobs)
 	res := sim.RunObserved(cfg, func(done sim.Completion) {
@@ -79,14 +95,22 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 		return r, fmt.Errorf("exp: cell %v replication %d: empty response series after trimming", c, rep)
 	}
 	var total stats.Summary
-	var byClass [2]stats.Summary
+	byClass := make([]stats.Summary, numClasses)
 	for i, v := range tail {
 		total.Add(v)
 		byClass[classes[trim+i]].Add(v)
 	}
 	r.MeanT = total.Mean()
 	r.MeanTI = byClass[sim.Inelastic].Mean()
-	r.MeanTE = byClass[sim.Elastic].Mean()
+	if numClasses > 1 {
+		r.MeanTE = byClass[sim.Elastic].Mean()
+	}
+	if numClasses > 2 {
+		r.PerClass = make([]float64, numClasses)
+		for i := range byClass {
+			r.PerClass[i] = byClass[i].Mean()
+		}
+	}
 	r.MeanN = res.MeanN
 	r.Util = res.Metrics.Utilization(c.K)
 	r.Completions = int64(len(tail))
@@ -110,17 +134,21 @@ type CellResult struct {
 	// ET is the mean response time over replication means; ETCI its 95%
 	// half-width (from replication variance when Reps >= 2, else the single
 	// replication's batch-means CI when available).
-	ET          float64 `json:"et"`
-	ETCI        float64 `json:"etCI"`
-	ETI         float64 `json:"etI"`
-	ETE         float64 `json:"etE"`
-	EN          float64 `json:"en"`
-	Util        float64 `json:"util"`
-	Completions int64   `json:"completions"`
+	ET   float64 `json:"et"`
+	ETCI float64 `json:"etCI"`
+	ETI  float64 `json:"etI"`
+	ETE  float64 `json:"etE"`
+	// ETPerClass holds per-class aggregates for class-mix cells with more
+	// than two classes.
+	ETPerClass  []float64 `json:"etPerClass,omitempty"`
+	EN          float64   `json:"en"`
+	Util        float64   `json:"util"`
+	Completions int64     `json:"completions"`
 }
 
 func aggregate(c Cell, reps []Replication) CellResult {
 	var t, ti, te, n, u stats.Summary
+	var perClass []stats.Summary
 	var comp int64
 	for _, r := range reps {
 		t.Add(r.MeanT)
@@ -129,11 +157,22 @@ func aggregate(c Cell, reps []Replication) CellResult {
 		n.Add(r.MeanN)
 		u.Add(r.Util)
 		comp += r.Completions
+		if len(r.PerClass) > 0 {
+			if perClass == nil {
+				perClass = make([]stats.Summary, len(r.PerClass))
+			}
+			for i, v := range r.PerClass {
+				perClass[i].Add(v)
+			}
+		}
 	}
 	cr := CellResult{
 		Cell: c, Reps: reps,
 		ET: t.Mean(), ETI: ti.Mean(), ETE: te.Mean(),
 		EN: n.Mean(), Util: u.Mean(), Completions: comp,
+	}
+	for i := range perClass {
+		cr.ETPerClass = append(cr.ETPerClass, perClass[i].Mean())
 	}
 	if t.N() >= 2 {
 		cr.ETCI = t.CI95()
@@ -150,16 +189,22 @@ type ResultSet struct {
 	Cells []CellResult `json:"cells"`
 }
 
-// WriteCSV emits one row per cell.
+// WriteCSV emits one row per cell. For class-mix cells with more than two
+// classes the per-class means are joined with ';' in the last column.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions"); err != nil {
+	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,mix,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions,ET_per_class"); err != nil {
 		return err
 	}
 	for _, cr := range rs.Cells {
 		c := cr.Cell
-		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d\n",
-			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Policy, len(cr.Reps),
-			cr.ET, cr.ETCI, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions); err != nil {
+		perClass := make([]string, len(cr.ETPerClass))
+		for i, v := range cr.ETPerClass {
+			perClass[i] = fmt.Sprintf("%.6f", v)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d,%s\n",
+			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Mix, c.Policy, len(cr.Reps),
+			cr.ET, cr.ETCI, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions,
+			strings.Join(perClass, ";")); err != nil {
 			return err
 		}
 	}

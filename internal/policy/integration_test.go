@@ -87,7 +87,7 @@ func TestSimulatorMatchesMMk(t *testing.T) {
 // per-job sides of the metrics pipeline.
 func TestLittlesLawInSimulation(t *testing.T) {
 	model := workload.ModelForLoad(4, 0.7, 2.0, 1.0)
-	for _, p := range []sim.Policy{InelasticFirst{}, ElasticFirst{}, Equi{}, FCFS{}} {
+	for _, p := range []sim.Policy{InelasticFirst{}, ElasticFirst{}, Equi{}, &FCFS{}} {
 		res := sim.Run(sim.RunConfig{
 			K: model.K, Policy: p, Source: model.Source(45),
 			WarmupJobs: 20000, MaxJobs: 300000,
@@ -120,7 +120,7 @@ func TestUtilizationMatchesLoad(t *testing.T) {
 // property of every sample path, so a single violation fails.
 func TestTheorem3SamplePathDominance(t *testing.T) {
 	rivals := []sim.Policy{
-		ElasticFirst{}, FCFS{},
+		ElasticFirst{}, &FCFS{},
 		Threshold{Cap: 1}, Threshold{Cap: 2}, Threshold{Cap: 3},
 		DeferElastic{},
 	}
@@ -161,7 +161,7 @@ func TestTheorem5IFOptimalWhenInelasticSmaller(t *testing.T) {
 	// at this load (their effective capacity is below k), so they are
 	// exercised separately at low load in TestAppendixBIdlingDominated.
 	rivals := []sim.Policy{
-		ElasticFirst{}, FCFS{}, Equi{},
+		ElasticFirst{}, &FCFS{}, Equi{},
 		Threshold{Cap: 2},
 	}
 	for _, muI := range []float64{1.0, 2.0} {
@@ -228,7 +228,7 @@ func TestAppendixBIdlingDominated(t *testing.T) {
 // are matched by completions.
 func TestStabilityAppendixC(t *testing.T) {
 	model := workload.ModelForLoad(4, 0.9, 0.5, 1.0)
-	for _, p := range []sim.Policy{InelasticFirst{}, ElasticFirst{}, FCFS{}} {
+	for _, p := range []sim.Policy{InelasticFirst{}, ElasticFirst{}, &FCFS{}} {
 		res := sim.Run(sim.RunConfig{
 			K: model.K, Policy: p, Source: model.Source(8),
 			WarmupJobs: 20000, MaxJobs: 200000,
@@ -244,11 +244,11 @@ func TestStabilityAppendixC(t *testing.T) {
 func TestSRPTKClairvoyantAdvantage(t *testing.T) {
 	model := workload.ModelForLoad(4, 0.8, 1.0, 1.0)
 	srpt := sim.Run(sim.RunConfig{
-		K: model.K, Policy: SRPTK{}, Source: model.Source(5),
+		K: model.K, Policy: &SRPTK{}, Source: model.Source(5),
 		WarmupJobs: 10000, MaxJobs: 150000,
 	})
 	fcfs := sim.Run(sim.RunConfig{
-		K: model.K, Policy: FCFS{}, Source: model.Source(5),
+		K: model.K, Policy: &FCFS{}, Source: model.Source(5),
 		WarmupJobs: 10000, MaxJobs: 150000,
 	})
 	if srpt.MeanT >= fcfs.MeanT {

@@ -1,30 +1,111 @@
 // Package policy implements the server-allocation policies studied in the
 // paper plus the baseline and ablation families used in the optimality
-// experiments.
+// experiments, all expressed over the unified N-class engine: a policy
+// receives per-class FCFS queues (sim.State.Queues) and fills a per-class
+// allocation matrix.
+//
+// The paper's headline policies are members of the strict class-priority
+// family (ClassPriority): walk the classes in a fixed order and give each
+// job up to its class's saturation cap until the servers run out.
+//
+//   - InelasticFirst (IF): priority by ascending class index — on the
+//     two-class preset, strict preemptive priority to inelastic jobs;
+//     optimal for mean response time whenever muI >= muE (Theorems 1, 5).
+//   - ElasticFirst (EF): priority by descending class index — on the
+//     two-class preset, strict preemptive priority to elastic jobs; can
+//     beat IF when muI < muE (Theorem 6).
+//   - LeastFlexibleFirst (LFF): priority by ascending saturation cap — the
+//     Section 6 generalization of IF's "defer the flexible work" intuition.
+//   - SmallestMeanFirst (SMF): priority by ascending mean job size — the
+//     generalization suggested by Theorems 1 and 5.
 //
 // All policies are stationary, deterministic and (except DeferElastic,
-// which exists to demonstrate Appendix B) work-conserving. The paper's
-// headline policies are:
-//
-//   - InelasticFirst (IF): strict preemptive priority to inelastic jobs;
-//     optimal for mean response time whenever muI >= muE (Theorems 1, 5).
-//   - ElasticFirst (EF): strict preemptive priority to elastic jobs; can
-//     beat IF when muI < muE (Theorem 6).
-//
-// Within a class every policy serves FCFS, matching the class P of
-// Section 4.2.
+// which exists to demonstrate Appendix B) work-conserving. Within a class
+// every policy serves FCFS, matching the class P of Section 4.2. Class
+// orderings that depend on the class set (LFF, SMF) are computed once and
+// maintained across events rather than re-sorted per event, keeping every
+// Allocate call allocation-free in steady state.
 package policy
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"repro/internal/sim"
 )
 
-// InelasticFirst returns the IF policy: in state (i, j) with i < k, each
-// inelastic job receives one server and the earliest-arriving elastic job
-// receives the remaining k-i; with i >= k the k earliest inelastic jobs are
-// served.
+// priorityAllocate walks classes in the given order (nil means ascending
+// class index), giving each job in FCFS order up to its class's saturation
+// cap until the servers run out. Order entries outside the class set are
+// ignored and classes absent from a non-nil order receive nothing (strict
+// priority over the listed classes only); resolution layers validate full
+// coverage up front (core.ValidatePolicyClasses).
+func priorityAllocate(st *sim.State, alloc *sim.Allocation, order []int) {
+	remaining := float64(st.K)
+	n := len(st.Queues)
+	if order != nil {
+		n = len(order)
+	}
+	for i := 0; i < n; i++ {
+		c := i
+		if order != nil {
+			c = order[i]
+			if c < 0 || c >= len(st.Queues) {
+				continue
+			}
+			// A duplicated order entry would re-subtract the class's
+			// allocation from remaining and starve later classes; skip
+			// classes already served (a served nonempty class always has a
+			// positive head allocation — a zero head means remaining hit 0,
+			// which returns below).
+			if len(st.Queues[c]) > 0 && alloc.Classes[c][0] > 0 {
+				continue
+			}
+		}
+		capC := st.Classes[c].Cap()
+		for n := range st.Queues[c] {
+			if remaining <= 0 {
+				return
+			}
+			// min(capC, remaining) via a branch: math.Min is not inlined
+			// and this is the allocator's innermost loop.
+			a := capC
+			if remaining < a {
+				a = remaining
+			}
+			alloc.Classes[c][n] = a
+			remaining -= a
+		}
+	}
+}
+
+// ClassPriority serves classes in a fixed strict preemptive priority order,
+// FCFS within a class: walking classes in Order, each job takes up to its
+// class's saturation cap until the servers run out. On the two-class preset,
+// Order {0, 1} is exactly Inelastic-First and {1, 0} is Elastic-First.
+type ClassPriority struct {
+	Order []int
+}
+
+// Name implements sim.Policy.
+func (p ClassPriority) Name() string {
+	parts := make([]string, len(p.Order))
+	for i, c := range p.Order {
+		parts[i] = fmt.Sprint(c)
+	}
+	return "PRIO:" + strings.Join(parts, ">")
+}
+
+// Allocate implements sim.Policy.
+func (p ClassPriority) Allocate(st *sim.State, alloc *sim.Allocation) {
+	priorityAllocate(st, alloc, p.Order)
+}
+
+// InelasticFirst is the IF policy: strict class priority by ascending class
+// index. On the two-class preset, in state (i, j) with i < k each inelastic
+// job receives one server and the earliest-arriving elastic job receives the
+// remaining k-i; with i >= k the k earliest inelastic jobs are served.
 type InelasticFirst struct{}
 
 // Name implements sim.Policy.
@@ -32,21 +113,12 @@ func (InelasticFirst) Name() string { return "IF" }
 
 // Allocate implements sim.Policy.
 func (InelasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
-	remaining := float64(st.K)
-	for i := range st.Inelastic {
-		if remaining <= 0 {
-			break
-		}
-		alloc.Inelastic[i] = 1
-		remaining--
-	}
-	if remaining > 0 && len(st.Elastic) > 0 {
-		alloc.Elastic[0] = remaining
-	}
+	priorityAllocate(st, alloc, nil)
 }
 
-// ElasticFirst returns the EF policy: whenever an elastic job is present,
-// the earliest-arriving one receives all k servers; otherwise inelastic jobs
+// ElasticFirst is the EF policy: strict class priority by descending class
+// index. On the two-class preset, whenever an elastic job is present the
+// earliest-arriving one receives all k servers; otherwise inelastic jobs
 // are served FCFS, one server each.
 type ElasticFirst struct{}
 
@@ -55,56 +127,151 @@ func (ElasticFirst) Name() string { return "EF" }
 
 // Allocate implements sim.Policy.
 func (ElasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
-	if len(st.Elastic) > 0 {
-		alloc.Elastic[0] = float64(st.K)
-		return
-	}
 	remaining := float64(st.K)
-	for i := range st.Inelastic {
-		if remaining <= 0 {
-			break
+	for c := len(st.Queues) - 1; c >= 0; c-- {
+		capC := st.Classes[c].Cap()
+		for n := range st.Queues[c] {
+			if remaining <= 0 {
+				return
+			}
+			a := capC
+			if remaining < a {
+				a = remaining
+			}
+			alloc.Classes[c][n] = a
+			remaining -= a
 		}
-		alloc.Inelastic[i] = 1
-		remaining--
 	}
 }
 
-// FCFS serves jobs of both classes in one global first-come-first-serve
-// order: walking jobs by arrival time, an inelastic job claims one server
-// and an elastic job claims everything left (blocking later jobs). It is a
-// natural cluster-scheduler baseline outside the paper's two headline
-// policies.
-type FCFS struct{}
+// classOrder caches a derived class ordering so that it is computed once per
+// class set and maintained across events instead of re-sorted per event.
+// The cache is keyed on the identity of the State.Classes slice, which is
+// fixed for the lifetime of a System.
+type classOrder struct {
+	classes []sim.ClassSpec // identity key: the slice seen last
+	order   []int
+}
+
+func (co *classOrder) get(classes []sim.ClassSpec, less func(a, b sim.ClassSpec) bool) []int {
+	if len(co.order) == len(classes) && len(classes) > 0 &&
+		len(co.classes) == len(classes) && &co.classes[0] == &classes[0] {
+		return co.order
+	}
+	if cap(co.order) < len(classes) {
+		co.order = make([]int, len(classes))
+	}
+	co.order = co.order[:len(classes)]
+	for i := range co.order {
+		co.order[i] = i
+	}
+	// Insertion sort: stable, in place, and the class count is tiny.
+	for i := 1; i < len(co.order); i++ {
+		for p := i; p > 0 && less(classes[co.order[p]], classes[co.order[p-1]]); p-- {
+			co.order[p], co.order[p-1] = co.order[p-1], co.order[p]
+		}
+	}
+	co.classes = classes
+	return co.order
+}
+
+// LeastFlexibleFirst prioritizes classes by ascending saturation cap: serve
+// the jobs that cannot make use of spare capacity first, deferring flexible
+// work — the efficiency intuition behind Inelastic-First extended to many
+// classes (Section 6). Use the pointer form (&LeastFlexibleFirst{}) so the
+// maintained class ordering is cached across events.
+type LeastFlexibleFirst struct {
+	co classOrder
+}
 
 // Name implements sim.Policy.
-func (FCFS) Name() string { return "FCFS" }
+func (*LeastFlexibleFirst) Name() string { return "LFF" }
 
 // Allocate implements sim.Policy.
-func (FCFS) Allocate(st *sim.State, alloc *sim.Allocation) {
+func (p *LeastFlexibleFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
+	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return a.Cap() < b.Cap() })
+	priorityAllocate(st, alloc, order)
+}
+
+// SmallestMeanFirst prioritizes classes by ascending mean job size — the
+// natural generalization of "give priority to the smaller class" suggested
+// by Theorems 1 and 5. Classes should carry a Size distribution (the sweep
+// layers attach one to every cell kind); classes without one sort last.
+// Use the pointer form (&SmallestMeanFirst{}) so the maintained class
+// ordering is cached across events.
+type SmallestMeanFirst struct {
+	co classOrder
+}
+
+// Name implements sim.Policy.
+func (*SmallestMeanFirst) Name() string { return "SMF" }
+
+func meanSize(c sim.ClassSpec) float64 {
+	if c.Size == nil {
+		return math.Inf(1)
+	}
+	return c.Size.Mean()
+}
+
+// Allocate implements sim.Policy.
+func (p *SmallestMeanFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
+	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return meanSize(a) < meanSize(b) })
+	priorityAllocate(st, alloc, order)
+}
+
+// FCFS serves jobs of every class in one global first-come-first-serve
+// order: walking jobs by arrival time (ties to the lower class index), each
+// job claims up to its class cap; a fully elastic job therefore claims
+// everything left, blocking later jobs. It is a natural cluster-scheduler
+// baseline outside the paper's two headline policies. Use the pointer form
+// (&FCFS{}) so the per-class cursors are reused across events.
+type FCFS struct {
+	cur []int
+}
+
+// Name implements sim.Policy.
+func (*FCFS) Name() string { return "FCFS" }
+
+// Allocate implements sim.Policy.
+func (p *FCFS) Allocate(st *sim.State, alloc *sim.Allocation) {
+	nc := len(st.Queues)
+	if cap(p.cur) < nc {
+		p.cur = make([]int, nc)
+	}
+	p.cur = p.cur[:nc]
+	for c := range p.cur {
+		p.cur[c] = 0
+	}
 	remaining := float64(st.K)
-	ii, ei := 0, 0
-	for remaining > 0 && (ii < len(st.Inelastic) || ei < len(st.Elastic)) {
-		takeInelastic := ei >= len(st.Elastic)
-		if !takeInelastic && ii < len(st.Inelastic) {
-			takeInelastic = st.Inelastic[ii].Arrival <= st.Elastic[ei].Arrival
+	for remaining > 0 {
+		best := -1
+		var bestArr float64
+		for c := 0; c < nc; c++ {
+			if p.cur[c] >= len(st.Queues[c]) {
+				continue
+			}
+			arr := st.Queues[c][p.cur[c]].Arrival
+			if best == -1 || arr < bestArr {
+				best, bestArr = c, arr
+			}
 		}
-		if takeInelastic {
-			alloc.Inelastic[ii] = 1
-			remaining--
-			ii++
-		} else {
-			alloc.Elastic[ei] = remaining
-			remaining = 0
-			ei++
+		if best == -1 {
+			return
 		}
+		a := math.Min(st.Classes[best].Cap(), remaining)
+		alloc.Classes[best][p.cur[best]] = a
+		remaining -= a
+		p.cur[best]++
 	}
 }
 
 // Equi is generalized processor sharing: every job in the system receives an
-// equal share k/n of the servers, with inelastic shares capped at one server
-// and the excess redistributed to elastic jobs (water-filling). It is the
-// stochastic analogue of the EQUI algorithm from the worst-case literature
-// discussed in Sections 1.4 and 3.
+// equal share k/n of the servers, with the shares of finitely capped classes
+// clamped at their cap and the excess water-filled back — first equally over
+// the jobs of fully elastic classes, and when none are present, over the
+// capped jobs still below their caps. It is the stochastic analogue of the
+// EQUI algorithm from the worst-case literature discussed in Sections 1.4
+// and 3.
 type Equi struct{}
 
 // Name implements sim.Policy.
@@ -112,36 +279,91 @@ func (Equi) Name() string { return "EQUI" }
 
 // Allocate implements sim.Policy.
 func (Equi) Allocate(st *sim.State, alloc *sim.Allocation) {
-	nI, nE := len(st.Inelastic), len(st.Elastic)
-	n := nI + nE
+	n := 0
+	for _, q := range st.Queues {
+		n += len(q)
+	}
 	if n == 0 {
 		return
 	}
 	share := float64(st.K) / float64(n)
-	inelasticShare := share
-	if inelasticShare > 1 {
-		inelasticShare = 1
+	// Finitely capped classes take min(share, cap) each; the remainder is
+	// split equally over the jobs of fully elastic classes.
+	remaining := float64(st.K)
+	uncapped := 0
+	for c, q := range st.Queues {
+		capC := st.Classes[c].Cap()
+		if math.IsInf(capC, 1) {
+			uncapped += len(q)
+			continue
+		}
+		s := share
+		if s > capC {
+			s = capC
+		}
+		for i := range q {
+			alloc.Classes[c][i] = s
+		}
+		remaining -= float64(len(q)) * s
 	}
-	for i := range st.Inelastic {
-		alloc.Inelastic[i] = inelasticShare
+	if uncapped > 0 {
+		per := remaining / float64(uncapped)
+		for c, q := range st.Queues {
+			if !math.IsInf(st.Classes[c].Cap(), 1) {
+				continue
+			}
+			for i := range q {
+				alloc.Classes[c][i] = per
+			}
+		}
+		return
 	}
-	if nE > 0 {
-		perElastic := (float64(st.K) - float64(nI)*inelasticShare) / float64(nE)
-		for i := range st.Elastic {
-			alloc.Elastic[i] = perElastic
+	// No fully elastic class: water-fill the excess over capped jobs still
+	// below their cap, so EQUI stays work-conserving on all-capped mixes
+	// (e.g. the cappedladder preset). Each round either saturates at least
+	// one class or distributes everything, so len(Queues) rounds suffice.
+	// Per-class shares are uniform, so the running share is read back from
+	// each class's first entry — no scratch state, the hot path stays
+	// allocation-free. Once every job sits at its cap the leftover is
+	// genuinely unusable and strands, as the model prescribes.
+	for round := 0; round <= len(st.Queues) && remaining > 1e-12; round++ {
+		m := 0
+		for c, q := range st.Queues {
+			if len(q) > 0 && alloc.Classes[c][0] < st.Classes[c].Cap() {
+				m += len(q)
+			}
+		}
+		if m == 0 {
+			return
+		}
+		add := remaining / float64(m)
+		for c, q := range st.Queues {
+			if len(q) == 0 {
+				continue
+			}
+			capC := st.Classes[c].Cap()
+			cur := alloc.Classes[c][0]
+			if cur >= capC {
+				continue
+			}
+			delta := add
+			if cur+delta > capC {
+				delta = capC - cur
+			}
+			for i := range q {
+				alloc.Classes[c][i] = cur + delta
+			}
+			remaining -= float64(len(q)) * delta
 		}
 	}
-	// With no elastic jobs present the inelastic cap may strand capacity;
-	// that is inherent to the model (inelastic jobs cannot use more than
-	// one server) and EQUI remains work-conserving in the paper's sense.
 }
 
 // Greedy maximizes the instantaneous total departure rate
-// piI*muI + piE*muE (the GREEDY class of [7] referenced in Theorem 1).
-// When MuI >= MuE it allocates like IF; otherwise like EF with inelastic
-// jobs soaking up leftover servers. Ties favor inelastic jobs, which makes
-// this implementation simultaneously a member of GREEDY* (minimal elastic
-// allocation among GREEDY policies).
+// piI*muI + piE*muE (the GREEDY class of [7] referenced in Theorem 1) on
+// the two-class preset. When MuI >= MuE it allocates like IF; otherwise
+// like EF with inelastic jobs soaking up leftover servers. Ties favor
+// inelastic jobs, which makes this implementation simultaneously a member
+// of GREEDY* (minimal elastic allocation among GREEDY policies).
 type Greedy struct {
 	MuI, MuE float64
 }
@@ -156,16 +378,16 @@ func (g Greedy) Allocate(st *sim.State, alloc *sim.Allocation) {
 		return
 	}
 	// muE > muI: all servers to the elastic head job maximizes rate;
-	// leftovers (j = 0) go to inelastic jobs.
+	// leftovers go to inelastic jobs.
 	ElasticFirst{}.Allocate(st, alloc)
 }
 
-// Threshold interpolates between EF and IF: when elastic jobs are present,
-// inelastic jobs receive at most Cap servers (FCFS) and the elastic head job
-// receives the rest; with no elastic jobs, inelastic jobs are served on all
-// k servers. Cap = k reproduces IF and Cap = 0 reproduces EF, so scanning
-// Cap provides the policy family for the optimality experiments of
-// Section 4.
+// Threshold interpolates between EF and IF on the two-class preset: when
+// elastic jobs are present, inelastic jobs receive at most Cap servers
+// (FCFS) and the elastic head job receives the rest; with no elastic jobs,
+// inelastic jobs are served on all k servers. Cap = k reproduces IF and
+// Cap = 0 reproduces EF, so scanning Cap provides the policy family for the
+// optimality experiments of Section 4.
 type Threshold struct {
 	Cap int
 }
@@ -175,28 +397,34 @@ func (t Threshold) Name() string { return fmt.Sprintf("THRESH(%d)", t.Cap) }
 
 // Allocate implements sim.Policy.
 func (t Threshold) Allocate(st *sim.State, alloc *sim.Allocation) {
+	if len(st.Queues) < 2 {
+		priorityAllocate(st, alloc, nil)
+		return
+	}
+	inelastic, elastic := st.Queues[sim.Inelastic], st.Queues[sim.Elastic]
 	remaining := float64(st.K)
 	capLeft := float64(t.Cap)
-	if len(st.Elastic) == 0 {
+	if len(elastic) == 0 {
 		capLeft = remaining
 	}
-	for i := range st.Inelastic {
+	for i := range inelastic {
 		if remaining <= 0 || capLeft <= 0 {
 			break
 		}
-		alloc.Inelastic[i] = 1
+		alloc.Classes[sim.Inelastic][i] = 1
 		remaining--
 		capLeft--
 	}
-	if remaining > 0 && len(st.Elastic) > 0 {
-		alloc.Elastic[0] = remaining
+	if remaining > 0 && len(elastic) > 0 {
+		alloc.Classes[sim.Elastic][0] = remaining
 	}
 }
 
 // DeferElastic is the deliberately idling policy used to exercise the
-// Appendix B interchange argument: when any inelastic job is present it
-// serves only inelastic jobs and idles every server that IF would have given
-// to an elastic job. Theorem 12 implies it is weakly dominated by IF.
+// Appendix B interchange argument: when any job of a finitely capped class
+// is present it serves only those classes (in class order, up to their
+// caps) and idles every server that IF would have given to a fully elastic
+// job. Theorem 12 implies it is weakly dominated by IF.
 type DeferElastic struct{}
 
 // Name implements sim.Policy.
@@ -205,62 +433,78 @@ func (DeferElastic) Name() string { return "DEFER-E(idling)" }
 // Allocate implements sim.Policy.
 func (DeferElastic) Allocate(st *sim.State, alloc *sim.Allocation) {
 	remaining := float64(st.K)
-	for i := range st.Inelastic {
-		if remaining <= 0 {
-			break
+	capped := false
+	for c, q := range st.Queues {
+		capC := st.Classes[c].Cap()
+		if math.IsInf(capC, 1) {
+			continue
 		}
-		alloc.Inelastic[i] = 1
-		remaining--
+		for i := range q {
+			capped = true
+			if remaining <= 0 {
+				break
+			}
+			a := math.Min(capC, remaining)
+			alloc.Classes[c][i] = a
+			remaining -= a
+		}
 	}
-	if len(st.Inelastic) == 0 && len(st.Elastic) > 0 {
-		alloc.Elastic[0] = float64(st.K)
+	if capped {
+		return
+	}
+	for c, q := range st.Queues {
+		if !math.IsInf(st.Classes[c].Cap(), 1) || len(q) == 0 {
+			continue
+		}
+		alloc.Classes[c][0] = float64(st.K)
+		return
 	}
 }
 
 // SRPTK is a size-aware baseline extending SRPT-k (Section 1.4, [18]) to
-// the elastic/inelastic model: jobs are prioritized by remaining size;
-// an inelastic job claims one server, an elastic job claims all servers
-// left after smaller jobs. It requires known sizes, which the paper's
-// stochastic setting forbids — it is included as the clairvoyant reference
-// point.
-type SRPTK struct{}
+// the elastic/inelastic model: jobs are prioritized by remaining size
+// (ties to the lower class, FCFS within a class); each job claims up to its
+// class cap, so a fully elastic job claims all servers left after smaller
+// jobs. It requires known sizes, which the paper's stochastic setting
+// forbids — it is included as the clairvoyant reference point. Use the
+// pointer form (&SRPTK{}) so the ordering buffer is reused across events.
+type SRPTK struct {
+	buf []srptRef
+}
+
+type srptRef struct {
+	remaining float64
+	class     int
+	idx       int
+}
 
 // Name implements sim.Policy.
-func (SRPTK) Name() string { return "SRPT-k" }
+func (*SRPTK) Name() string { return "SRPT-k" }
 
 // Allocate implements sim.Policy.
-func (SRPTK) Allocate(st *sim.State, alloc *sim.Allocation) {
-	type ref struct {
-		remaining float64
-		elastic   bool
-		idx       int
-	}
-	jobs := make([]ref, 0, len(st.Inelastic)+len(st.Elastic))
-	for i, j := range st.Inelastic {
-		jobs = append(jobs, ref{j.Remaining, false, i})
-	}
-	for i, j := range st.Elastic {
-		jobs = append(jobs, ref{j.Remaining, true, i})
+func (p *SRPTK) Allocate(st *sim.State, alloc *sim.Allocation) {
+	jobs := p.buf[:0]
+	for c, q := range st.Queues {
+		for i, j := range q {
+			jobs = append(jobs, srptRef{j.Remaining, c, i})
+		}
 	}
 	// Insertion sort by remaining size; job counts are small and the
 	// allocation is recomputed at every event, so avoiding sort.Slice
-	// keeps the hot path allocation-free.
+	// keeps the hot path allocation-free (the buffer is reused).
 	for i := 1; i < len(jobs); i++ {
-		for p := i; p > 0 && jobs[p].remaining < jobs[p-1].remaining; p-- {
-			jobs[p], jobs[p-1] = jobs[p-1], jobs[p]
+		for q := i; q > 0 && jobs[q].remaining < jobs[q-1].remaining; q-- {
+			jobs[q], jobs[q-1] = jobs[q-1], jobs[q]
 		}
 	}
+	p.buf = jobs
 	remaining := float64(st.K)
 	for _, j := range jobs {
 		if remaining <= 0 {
 			break
 		}
-		if j.elastic {
-			alloc.Elastic[j.idx] = remaining
-			remaining = 0
-		} else {
-			alloc.Inelastic[j.idx] = 1
-			remaining--
-		}
+		a := math.Min(st.Classes[j.class].Cap(), remaining)
+		alloc.Classes[j.class][j.idx] = a
+		remaining -= a
 	}
 }

@@ -1,0 +1,121 @@
+package sim_test
+
+// Allocation-regression gate for the engine hot path: steady-state stepping
+// (advance + arrive, completions included) must stay allocation-free apart
+// from unavoidable growth of internal buffers while the system is still
+// warming up. The pin is <= 1 heap allocation per simulated event on the
+// two-class preset (ISSUE 3 acceptance criterion); after the free list and
+// buffers warm up the engine runs at 0.
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// steadyStateAllocs measures heap allocations per event (arrival or
+// completion) in steady state under the given policy.
+func steadyStateAllocs(t *testing.T, pol sim.Policy) float64 {
+	t.Helper()
+	model := workload.ModelForLoad(4, 0.8, 1.5, 1.0)
+	src := model.Source(3)
+	sys := sim.NewSystem(model.K, pol)
+	// Warm up: populate the free list, the allocation buffers and the
+	// event queue's backing array.
+	for i := 0; i < 20_000; i++ {
+		a, _ := src.Next()
+		sys.AdvanceTo(a.Time)
+		sys.Arrive(a)
+	}
+	const rounds = 2000
+	before := sys.Metrics().TotalCompletions()
+	perRound := testing.AllocsPerRun(rounds, func() {
+		a, _ := src.Next()
+		sys.AdvanceTo(a.Time)
+		sys.Arrive(a)
+	})
+	// Each round is one arrival plus however many completions it flushed.
+	completions := sys.Metrics().TotalCompletions() - before
+	eventsPerRound := 1 + float64(completions)/float64(rounds+1)
+	return perRound / eventsPerRound
+}
+
+func TestSteadyStateAllocsPerEvent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pol  sim.Policy
+	}{
+		{"IF", policy.InelasticFirst{}},
+		{"EF", policy.ElasticFirst{}},
+		{"EQUI", policy.Equi{}},
+		{"FCFS", &policy.FCFS{}},
+		{"SRPT", &policy.SRPTK{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := steadyStateAllocs(t, tc.pol); got > 1 {
+				t.Fatalf("steady-state stepping allocates %.3f/event under %s, want <= 1", got, tc.pol.Name())
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocsMultiClass pins the same bound on a three-class
+// capped mix under a maintained class ordering — the configuration the old
+// internal/mcsim engine allocated on every event.
+func TestSteadyStateAllocsMultiClass(t *testing.T) {
+	mix := workload.ThreeClassCaps(8, 0.7)
+	src := mix.Source(3)
+	sys := sim.NewClassSystem(8, mix.Classes, &policy.LeastFlexibleFirst{})
+	for i := 0; i < 20_000; i++ {
+		a, _ := src.Next()
+		sys.AdvanceTo(a.Time)
+		sys.Arrive(a)
+	}
+	const rounds = 2000
+	before := sys.Metrics().TotalCompletions()
+	perRound := testing.AllocsPerRun(rounds, func() {
+		a, _ := src.Next()
+		sys.AdvanceTo(a.Time)
+		sys.Arrive(a)
+	})
+	completions := sys.Metrics().TotalCompletions() - before
+	perEvent := perRound / (1 + float64(completions)/float64(rounds+1))
+	if perEvent > 1 {
+		t.Fatalf("multi-class steady-state stepping allocates %.3f/event, want <= 1", perEvent)
+	}
+}
+
+// BenchmarkEngineEvent measures the two-class hot path end to end (arrival
+// draw + advance + completions) — the headline engine number recorded in
+// BENCH_engine.json by scripts/bench.sh.
+func BenchmarkEngineEvent(b *testing.B) {
+	model := workload.ModelForLoad(4, 0.8, 1.0, 1.0)
+	src := model.Source(1)
+	sys := sim.NewSystem(model.K, policy.InelasticFirst{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := src.Next()
+		sys.AdvanceTo(a.Time)
+		sys.Arrive(a)
+	}
+	b.ReportMetric(float64(sys.Metrics().TotalCompletions())/b.Elapsed().Seconds(), "completions/sec")
+}
+
+// BenchmarkEngineEventMultiClass is the same measurement on the three-class
+// capped mix — the configuration the deleted internal/mcsim engine used to
+// serve (with per-event allocations; the unified engine runs it
+// allocation-free).
+func BenchmarkEngineEventMultiClass(b *testing.B) {
+	mix := workload.ThreeClassCaps(8, 0.7)
+	src := mix.Source(1)
+	sys := sim.NewClassSystem(8, mix.Classes, &policy.LeastFlexibleFirst{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, _ := src.Next()
+		sys.AdvanceTo(a.Time)
+		sys.Arrive(a)
+	}
+	b.ReportMetric(float64(sys.Metrics().TotalCompletions())/b.Elapsed().Seconds(), "completions/sec")
+}

@@ -28,13 +28,14 @@ type DominanceReport struct {
 	CompletedB         int
 }
 
-// Dominates reports whether policy A's total and inelastic work never
+// Dominates reports whether policy A's total and class-0 work never
 // exceeded policy B's on the coupled sample path.
 func (r DominanceReport) Dominates() bool { return len(r.Violations) == 0 }
 
 // CompareWork runs policies a and b in lockstep over the same arrival
 // sequence (same times, same classes, same sizes — the coupling of
-// Theorem 3) and checks, at every event time of either system, that
+// Theorem 3) on the two-class preset and checks, at every event time of
+// either system, that
 //
 //	W_a(t) <= W_b(t)   and   W_{I,a}(t) <= W_{I,b}(t).
 //
@@ -42,8 +43,16 @@ func (r DominanceReport) Dominates() bool { return len(r.Violations) == 0 }
 // all event epochs of the union grid implies agreement at all times.
 // Arrivals must be time-ordered. tol absorbs floating-point noise.
 func CompareWork(k int, arrivals []Arrival, a, b Policy, tol float64) DominanceReport {
-	sysA := NewSystem(k, a)
-	sysB := NewSystem(k, b)
+	return CompareWorkClasses(k, TwoClassSpecs(), arrivals, a, b, tol)
+}
+
+// CompareWorkClasses is CompareWork over an arbitrary class set: the coupled
+// sample-path driver compares total work W(t) and the work of class 0 (the
+// least flexible class in the canonical orderings, playing the role of W_I
+// in Theorem 3).
+func CompareWorkClasses(k int, classes []ClassSpec, arrivals []Arrival, a, b Policy, tol float64) DominanceReport {
+	sysA := NewClassSystem(k, classes, a)
+	sysB := NewClassSystem(k, classes, b)
 	rep := DominanceReport{PolicyA: a.Name(), PolicyB: b.Name()}
 
 	idx := 0
@@ -52,7 +61,7 @@ func CompareWork(k int, arrivals []Arrival, a, b Policy, tol float64) DominanceR
 		if wa, wb := sysA.Work(), sysB.Work(); wa > wb+tol {
 			rep.Violations = append(rep.Violations, Violation{Time: t, Quantity: "W", A: wa, B: wb})
 		}
-		if wa, wb := sysA.WorkInelastic(), sysB.WorkInelastic(); wa > wb+tol {
+		if wa, wb := sysA.WorkClass(0), sysB.WorkClass(0); wa > wb+tol {
 			rep.Violations = append(rep.Violations, Violation{Time: t, Quantity: "W_I", A: wa, B: wb})
 		}
 	}

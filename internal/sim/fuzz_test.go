@@ -19,7 +19,7 @@ func (chaosPolicy) Name() string { return "CHAOS" }
 
 func (c chaosPolicy) Allocate(st *State, alloc *Allocation) {
 	remaining := float64(st.K)
-	for i := range st.Inelastic {
+	for i := range st.Queues[Inelastic] {
 		if remaining <= 0 {
 			break
 		}
@@ -27,15 +27,15 @@ func (c chaosPolicy) Allocate(st *State, alloc *Allocation) {
 		if c.r.Bernoulli(0.3) {
 			a = 0 // sometimes starve a job outright
 		}
-		alloc.Inelastic[i] = a
+		alloc.Classes[Inelastic][i] = a
 		remaining -= a
 	}
-	for i := range st.Elastic {
+	for i := range st.Queues[Elastic] {
 		if remaining <= 0 {
 			break
 		}
 		a := c.r.Float64() * remaining
-		alloc.Elastic[i] = a
+		alloc.Classes[Elastic][i] = a
 		remaining -= a
 	}
 }
@@ -70,7 +70,7 @@ func TestEngineInvariantsUnderChaos(t *testing.T) {
 			if sys.Clock() != clock {
 				t.Fatalf("seed %d: clock drift %v vs %v", seed, sys.Clock(), clock)
 			}
-			for _, jobs := range [][]*Job{sys.inelastic, sys.elastic} {
+			for _, jobs := range sys.queues {
 				for _, j := range jobs {
 					if j.Remaining < 0 || j.Remaining > j.Size+1e-9 {
 						t.Fatalf("seed %d: remaining %v outside [0, %v]", seed, j.Remaining, j.Size)

@@ -1,0 +1,227 @@
+package sim_test
+
+// Cross-engine equivalence goldens: the frozen, bit-exact output of the
+// two-class engine on fixed seeds. The files under testdata/ were generated
+// by the pre-unification engine (internal/sim before the N-class refactor);
+// the unified engine running the two-class preset must reproduce every bit
+// of them. Regenerate with
+//
+//	go test ./internal/sim -run TestGoldenTwoClass -update
+//
+// only when an intentional semantic change to the engine is being made, and
+// say so loudly in the PR.
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current engine")
+
+// goldenPolicies are the policies frozen in the trace goldens. THRESH:2 and
+// EQUI exercise fractional allocations; DEFER exercises idling; SRPT
+// exercises size-aware ordering.
+var goldenPolicies = []string{"IF", "EF", "FCFS", "EQUI", "DEFER", "SRPT", "THRESH:2"}
+
+// hex encodes a float64 exactly (bit-for-bit) as a parseable string.
+func hex(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+type goldenCompletion struct {
+	ID       int    `json:"id"`
+	Class    int    `json:"class"`
+	Finished string `json:"finished"`
+}
+
+type goldenTrace struct {
+	Policy      string             `json:"policy"`
+	Completions []goldenCompletion `json:"completions"`
+	MeanT       string             `json:"meanT"`
+	MeanTI      string             `json:"meanTI"`
+	MeanTE      string             `json:"meanTE"`
+	MeanN       string             `json:"meanN"`
+	MeanW       string             `json:"meanW"`
+	Utilization string             `json:"utilization"`
+	Count       int64              `json:"count"`
+}
+
+// goldenTracePrefix bounds the per-completion detail kept in the files; the
+// aggregate statistics still cover the full run.
+const goldenTracePrefix = 256
+
+func computeGoldenTrace(t *testing.T, polName string) goldenTrace {
+	t.Helper()
+	model := workload.ModelForLoad(4, 0.8, 1.5, 1.0)
+	pol, err := core.System{K: 4, LambdaI: model.LambdaI, LambdaE: model.LambdaE,
+		MuI: model.MuI, MuE: model.MuE}.PolicyByName(polName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := model.Trace(11, 3000)
+	sys := sim.NewSystem(4, pol)
+	g := goldenTrace{Policy: polName}
+	record := func(done []sim.Completion) {
+		for _, c := range done {
+			if len(g.Completions) < goldenTracePrefix {
+				g.Completions = append(g.Completions, goldenCompletion{
+					ID: c.Job.ID, Class: int(c.Job.Class), Finished: hex(c.Finished),
+				})
+			}
+		}
+	}
+	for _, a := range trace {
+		record(sys.AdvanceTo(a.Time))
+		sys.Arrive(a)
+	}
+	record(sys.Drain(math.Inf(1)))
+	m := sys.Metrics()
+	g.MeanT = hex(m.MeanResponseAll())
+	g.MeanTI = hex(m.MeanResponse(sim.Inelastic))
+	g.MeanTE = hex(m.MeanResponse(sim.Elastic))
+	g.MeanN = hex(m.MeanJobsAll())
+	g.MeanW = hex(m.MeanWorkAll())
+	g.Utilization = hex(m.Utilization(4))
+	g.Count = m.TotalCompletions()
+	return g
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+func writeGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(name), append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("missing golden %s (generate with -update): %v", name, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenTwoClassTraces replays a frozen 3000-arrival trace under each
+// policy and demands bit-identical completion sequences and aggregate
+// statistics against the pre-refactor engine's output.
+func TestGoldenTwoClassTraces(t *testing.T) {
+	for _, polName := range goldenPolicies {
+		t.Run(polName, func(t *testing.T) {
+			got := computeGoldenTrace(t, polName)
+			name := "golden_trace_" + sanitize(polName) + ".json"
+			if *update {
+				writeGolden(t, name, got)
+				return
+			}
+			var want goldenTrace
+			readGolden(t, name, &want)
+			if got.Count != want.Count {
+				t.Fatalf("completions: got %d, want %d", got.Count, want.Count)
+			}
+			for _, pair := range [][3]string{
+				{"MeanT", got.MeanT, want.MeanT},
+				{"MeanTI", got.MeanTI, want.MeanTI},
+				{"MeanTE", got.MeanTE, want.MeanTE},
+				{"MeanN", got.MeanN, want.MeanN},
+				{"MeanW", got.MeanW, want.MeanW},
+				{"Utilization", got.Utilization, want.Utilization},
+			} {
+				if pair[1] != pair[2] {
+					t.Errorf("%s: got %s, want %s", pair[0], pair[1], pair[2])
+				}
+			}
+			if len(got.Completions) != len(want.Completions) {
+				t.Fatalf("trace prefix length: got %d, want %d", len(got.Completions), len(want.Completions))
+			}
+			for i := range want.Completions {
+				if got.Completions[i] != want.Completions[i] {
+					t.Fatalf("completion %d: got %+v, want %+v", i, got.Completions[i], want.Completions[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenRunPipeline freezes the warmup/measurement driver output (the
+// path exp and the cmds use): sim.Run with a warmup budget on the stochastic
+// two-class model.
+func TestGoldenRunPipeline(t *testing.T) {
+	type cell struct {
+		Policy      string `json:"policy"`
+		MuI         string `json:"muI"`
+		MeanT       string `json:"meanT"`
+		MeanTI      string `json:"meanTI"`
+		MeanTE      string `json:"meanTE"`
+		MeanN       string `json:"meanN"`
+		Completions int64  `json:"completions"`
+	}
+	var got []cell
+	for _, muI := range []float64{0.5, 2.0} {
+		for _, polName := range []string{"IF", "EF"} {
+			model := workload.ModelForLoad(4, 0.7, muI, 1.0)
+			pol, err := core.System{K: 4, LambdaI: model.LambdaI, LambdaE: model.LambdaE,
+				MuI: model.MuI, MuE: model.MuE}.PolicyByName(polName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := sim.Run(sim.RunConfig{
+				K: 4, Policy: pol, Source: model.Source(7),
+				WarmupJobs: 1000, MaxJobs: 10_000,
+			})
+			got = append(got, cell{
+				Policy: polName, MuI: hex(muI),
+				MeanT: hex(res.MeanT), MeanTI: hex(res.MeanTI), MeanTE: hex(res.MeanTE),
+				MeanN: hex(res.MeanN), Completions: res.Completions,
+			})
+		}
+	}
+	const name = "golden_run_cells.json"
+	if *update {
+		writeGolden(t, name, got)
+		return
+	}
+	var want []cell
+	readGolden(t, name, &want)
+	if len(got) != len(want) {
+		t.Fatalf("cells: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -15,22 +15,42 @@ import (
 type ResponseRecorder struct {
 	Capacity int
 	rng      *xrand.Rand
-	samples  [2][]float64
-	seen     [2]int64
+	samples  [][]float64
+	seen     []int64
 }
 
-// NewResponseRecorder returns a recorder holding up to capacity samples per
-// class.
+// NewResponseRecorder returns a recorder for the two-class preset holding up
+// to capacity samples per class.
 func NewResponseRecorder(capacity int, seed uint64) *ResponseRecorder {
+	return NewClassResponseRecorder(2, capacity, seed)
+}
+
+// NewClassResponseRecorder returns a recorder for numClasses job classes
+// holding up to capacity samples per class.
+func NewClassResponseRecorder(numClasses, capacity int, seed uint64) *ResponseRecorder {
 	if capacity < 1 {
 		panic("sim: recorder capacity must be positive")
 	}
-	return &ResponseRecorder{Capacity: capacity, rng: xrand.NewStream(seed, 999)}
+	if numClasses < 1 {
+		panic("sim: recorder needs at least one class")
+	}
+	return &ResponseRecorder{
+		Capacity: capacity,
+		rng:      xrand.NewStream(seed, 999),
+		samples:  make([][]float64, numClasses),
+		seen:     make([]int64, numClasses),
+	}
 }
 
-// Observe records one completion.
+// Observe records one completion. Classes beyond the constructed count grow
+// the recorder on demand, so a two-class recorder attached to an N-class
+// run degrades gracefully instead of panicking.
 func (rr *ResponseRecorder) Observe(c Completion) {
 	class := c.Job.Class
+	for int(class) >= len(rr.samples) {
+		rr.samples = append(rr.samples, nil)
+		rr.seen = append(rr.seen, 0)
+	}
 	rr.seen[class]++
 	s := rr.samples[class]
 	if len(s) < rr.Capacity {
@@ -44,17 +64,38 @@ func (rr *ResponseRecorder) Observe(c Completion) {
 	}
 }
 
-// Seen returns the number of completions observed for the class.
-func (rr *ResponseRecorder) Seen(c Class) int64 { return rr.seen[c] }
+// Seen returns the number of completions observed for the class (0 for a
+// class never observed).
+func (rr *ResponseRecorder) Seen(c Class) int64 {
+	if c < 0 || int(c) >= len(rr.seen) {
+		return 0
+	}
+	return rr.seen[c]
+}
 
 // Quantile returns the q-quantile of the recorded class-c response times
-// (NaN when empty).
+// (NaN when empty or never observed).
 func (rr *ResponseRecorder) Quantile(c Class, q float64) float64 {
-	s := rr.samples[c]
-	if len(s) == 0 {
+	if c < 0 || int(c) >= len(rr.samples) {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), s...)
+	return quantile(append([]float64(nil), rr.samples[c]...), q)
+}
+
+// QuantileAll returns the q-quantile across all classes.
+func (rr *ResponseRecorder) QuantileAll(q float64) float64 {
+	var merged []float64
+	for _, s := range rr.samples {
+		merged = append(merged, s...)
+	}
+	return quantile(merged, q)
+}
+
+// quantile sorts its (owned) argument and interpolates the q-quantile.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
@@ -64,23 +105,6 @@ func (rr *ResponseRecorder) Quantile(c Class, q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
-}
-
-// QuantileAll returns the q-quantile across both classes.
-func (rr *ResponseRecorder) QuantileAll(q float64) float64 {
-	merged := append(append([]float64(nil), rr.samples[0]...), rr.samples[1]...)
-	if len(merged) == 0 {
-		return math.NaN()
-	}
-	sort.Float64s(merged)
-	pos := q * float64(len(merged)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return merged[lo]
-	}
-	frac := pos - float64(lo)
-	return merged[lo]*(1-frac) + merged[hi]*frac
 }
 
 // RunWithRecorder is sim.Run with a percentile recorder attached to the

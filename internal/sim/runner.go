@@ -38,6 +38,9 @@ type RunConfig struct {
 	K      int
 	Policy Policy
 	Source ArrivalSource
+	// Classes describes the job classes; nil means the paper's two-class
+	// preset (TwoClassSpecs).
+	Classes []ClassSpec
 	// WarmupJobs is the number of completions to observe before resetting
 	// statistics (transient removal).
 	WarmupJobs int64
@@ -49,15 +52,26 @@ type RunConfig struct {
 	TrackOccupancy bool
 }
 
+func (cfg RunConfig) classes() []ClassSpec {
+	if cfg.Classes == nil {
+		return TwoClassSpecs()
+	}
+	return cfg.Classes
+}
+
 // Result summarizes one simulation run.
 type Result struct {
 	Policy  string
 	K       int
 	Metrics Metrics
 
-	// MeanT is the overall mean response time; MeanTI/MeanTE are
-	// per-class means.
-	MeanT, MeanTI, MeanTE float64
+	// MeanT is the overall mean response time; PerClassT the per-class
+	// means (NaN for classes with no completions).
+	MeanT     float64
+	PerClassT []float64
+	// MeanTI/MeanTE are the class 0/1 means — the per-class response times
+	// of the two-class preset (NaN when the class does not exist).
+	MeanTI, MeanTE float64
 	// MeanN is the time-average number of jobs in system.
 	MeanN float64
 	// Completions counts post-warmup completed jobs.
@@ -79,7 +93,7 @@ func Run(cfg RunConfig) Result {
 	if cfg.MaxJobs <= 0 {
 		panic("sim: RunConfig.MaxJobs must be positive")
 	}
-	sys := NewSystem(cfg.K, cfg.Policy)
+	sys := NewClassSystem(cfg.K, cfg.classes(), cfg.Policy)
 	sys.Metrics().TrackOccupancy = cfg.TrackOccupancy
 	sys.ResetMetrics()
 	horizon := cfg.Horizon
@@ -108,7 +122,7 @@ func Run(cfg RunConfig) Result {
 		}
 		sys.AdvanceTo(a.Time)
 		if !warmupDone {
-			seen = totalSeen(sys, cfg)
+			seen = sys.Metrics().TotalCompletions()
 		}
 		if stop() {
 			return snapshot(sys, cfg)
@@ -119,19 +133,18 @@ func Run(cfg RunConfig) Result {
 	return snapshot(sys, cfg)
 }
 
-// totalSeen counts completions since system start; during warmup the metrics
-// are not yet reset so TotalCompletions covers the whole run.
-func totalSeen(sys *System, _ RunConfig) int64 {
-	return sys.Metrics().TotalCompletions()
-}
-
 func snapshot(sys *System, cfg RunConfig) Result {
 	m := sys.Metrics()
+	perClass := make([]float64, sys.NumClasses())
+	for c := range perClass {
+		perClass[c] = m.MeanResponse(Class(c))
+	}
 	return Result{
 		Policy:      cfg.Policy.Name(),
 		K:           cfg.K,
-		Metrics:     *m,
+		Metrics:     m.Clone(),
 		MeanT:       m.MeanResponseAll(),
+		PerClassT:   perClass,
 		MeanTI:      m.MeanResponse(Inelastic),
 		MeanTE:      m.MeanResponse(Elastic),
 		MeanN:       m.MeanJobsAll(),
@@ -151,7 +164,7 @@ func RunObserved(cfg RunConfig, observe func(Completion)) Result {
 	if cfg.MaxJobs <= 0 {
 		panic("sim: RunConfig.MaxJobs must be positive")
 	}
-	sys := NewSystem(cfg.K, cfg.Policy)
+	sys := NewClassSystem(cfg.K, cfg.classes(), cfg.Policy)
 	sys.Metrics().TrackOccupancy = cfg.TrackOccupancy
 	sys.ResetMetrics()
 	horizon := cfg.Horizon

@@ -1,8 +1,12 @@
-// Package sim implements the event-driven simulator for the paper's model:
-// k identical servers shared by elastic jobs (which parallelize linearly
-// across any number of servers, including fractional allocations) and
-// inelastic jobs (capped at one server each). An allocation policy is
-// re-consulted at every arrival and departure, exactly as in the paper's
+// Package sim implements the event-driven simulator for the paper's model,
+// generalized to N job classes: k identical servers shared by jobs whose
+// classes each carry a speedup function s(a) mapping a (possibly fractional)
+// server allocation to a service rate. The paper's two-class model — elastic
+// jobs that parallelize linearly and inelastic jobs capped at one server —
+// is the preset returned by TwoClassSpecs (see preset.go); capped, Amdahl
+// and power-law speedups model the Section 2 and Section 6 extensions
+// (jobs elastic up to C servers, partial elasticity). An allocation policy
+// is re-consulted at every arrival and departure, exactly as in the paper's
 // preemptible fluid model.
 //
 // The engine exposes an explicit stepping API (Arrive / AdvanceTo) rather
@@ -11,30 +15,59 @@
 // Theorem 3 sample-path dominance experiments couple Inelastic-First against
 // other policies: same arrivals, same sizes, work compared at the union of
 // both systems' event times.
+//
+// Steady-state stepping is allocation-free: Job structs are recycled through
+// a free list, the Allocation buffers handed to the policy are reused across
+// events, and departures are selected through the internal/eventq future
+// event list (ties resolve in class-then-FCFS order, matching the scan order
+// of the historical two-class engine bit for bit).
 package sim
 
 import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/eventq"
 )
 
-// Class labels a job as elastic or inelastic.
+// Class indexes a job class (an index into the system's ClassSpec slice).
+// The two-class preset uses Inelastic (0) and Elastic (1).
 type Class int
 
-const (
-	// Inelastic jobs run on at most one server at a time.
-	Inelastic Class = iota
-	// Elastic jobs parallelize linearly across any allocation.
-	Elastic
-)
+// ClassSpec describes one job class of a system.
+type ClassSpec struct {
+	// Name labels the class in reports. Optional.
+	Name string
+	// Speedup maps a server allocation to the class's service rate. The
+	// zero value is linear (fully elastic).
+	Speedup Speedup
+	// MaxServers optionally bounds the allocation of a single job of this
+	// class (the per-job parallelizability bound k_j of Appendix A); 0
+	// means unbounded. For strictly increasing but saturating speedups
+	// (Amdahl, power-law) it keeps strict-priority policies from parking
+	// an entire cluster on one job far past its efficient operating point.
+	MaxServers float64
+	// Lambda is the class's Poisson arrival rate; used by the stochastic
+	// run drivers (internal/workload) and ignored by the engine itself.
+	Lambda float64
+	// Size is the class's job-size distribution; used by the stochastic
+	// run drivers and by size-aware class orderings (policy.SmallestMeanFirst).
+	// Ignored by the engine itself and may be nil for replayed traces.
+	Size dist.Distribution
+}
 
-// String returns "inelastic" or "elastic".
-func (c Class) String() string {
-	if c == Inelastic {
-		return "inelastic"
+// Cap returns the class's effective per-job allocation cap: the smaller of
+// the speedup's saturation allocation and MaxServers (when set). The engine
+// enforces it on every policy decision; class-priority policies give each
+// job up to Cap servers.
+func (c ClassSpec) Cap() float64 {
+	capC := c.Speedup.Cap()
+	if c.MaxServers > 0 && c.MaxServers < capC {
+		capC = c.MaxServers
 	}
-	return "elastic"
+	return capC
 }
 
 // Arrival is one externally scheduled job arrival.
@@ -47,37 +80,45 @@ type Arrival struct {
 // Job is a job resident in the system. Policies receive jobs in FCFS order
 // per class; the paper's policies are size-blind and must not read Remaining
 // (it is exposed for instrumentation and for known-size baselines only).
+// The pointer returned by Arrive is valid until the job completes; completed
+// Job structs are recycled by the engine.
 type Job struct {
 	ID        int
 	Class     Class
 	Arrival   float64
 	Size      float64
 	Remaining float64
-	rate      float64 // current server allocation
+	rate      float64 // current service rate s(servers)
+	servers   float64 // current server allocation
 }
 
-// Rate returns the job's current server allocation.
+// Rate returns the job's current service rate s(a).
 func (j *Job) Rate() float64 { return j.rate }
 
-// State is the scheduler-visible system state. Slices are in FCFS order and
-// owned by the System; policies must not retain or mutate them.
+// Servers returns the job's current server allocation a.
+func (j *Job) Servers() float64 { return j.servers }
+
+// State is the scheduler-visible system state: one FCFS queue per class.
+// Slices are owned by the System; policies must not retain or mutate them.
 type State struct {
-	K         int
-	Time      float64
-	Inelastic []*Job
-	Elastic   []*Job
+	K       int
+	Time    float64
+	Classes []ClassSpec
+	// Queues[c] holds the class-c jobs in FCFS (arrival) order.
+	Queues [][]*Job
 }
 
-// Allocation receives the policy's decision. Entries align with the State
-// slices. The engine zeroes the slices before each Allocate call.
+// Allocation receives the policy's decision: Classes[c][i] is the server
+// share of State.Queues[c][i]. The engine zeroes the slices before each
+// Allocate call and reuses their backing arrays across events.
 type Allocation struct {
-	Inelastic []float64
-	Elastic   []float64
+	Classes [][]float64
 }
 
 // Policy decides server allocations. Implementations must satisfy the model
-// constraints: 0 <= alloc, inelastic allocations <= 1 each, total <= K.
-// The engine verifies these bounds on every call.
+// constraints: every share is >= 0, a class-c share is at most the class's
+// saturation cap, and the shares sum to at most K. The engine verifies these
+// bounds on every call.
 type Policy interface {
 	Name() string
 	Allocate(st *State, alloc *Allocation)
@@ -94,35 +135,54 @@ func (c Completion) Response() float64 { return c.Finished - c.Job.Arrival }
 
 // System is one simulated cluster under one policy.
 type System struct {
-	k      int
-	policy Policy
-	clock  float64
-	nextID int
+	k       int
+	classes []ClassSpec
+	policy  Policy
+	clock   float64
+	nextID  int
 
-	inelastic []*Job
-	elastic   []*Job
+	queues [][]*Job
 
 	st    State
 	alloc Allocation
 
+	// evq is the future-event list used to select the next departure; it is
+	// rebuilt from the live job set whenever rates or remaining sizes
+	// change (its backing array is reused, so rebuilding is allocation-free).
+	evq eventq.Queue
+
 	metrics Metrics
 
-	// completionsBuf is reused across AdvanceTo calls.
+	// completionsBuf is reused across AdvanceTo calls; free recycles Job
+	// structs so steady-state stepping performs no heap allocations.
 	completionsBuf []Completion
+	free           []*Job
 
 	allocDirty bool
 }
 
-// NewSystem returns an empty system with k servers governed by policy.
-func NewSystem(k int, policy Policy) *System {
+// NewClassSystem returns an empty system with k servers over the given job
+// classes, governed by policy.
+func NewClassSystem(k int, classes []ClassSpec, policy Policy) *System {
 	if k < 1 {
 		panic("sim: k must be >= 1")
+	}
+	if len(classes) == 0 {
+		panic("sim: at least one class is required")
 	}
 	if policy == nil {
 		panic("sim: nil policy")
 	}
-	s := &System{k: k, policy: policy}
+	s := &System{
+		k:       k,
+		classes: append([]ClassSpec(nil), classes...),
+		policy:  policy,
+		queues:  make([][]*Job, len(classes)),
+	}
+	s.alloc.Classes = make([][]float64, len(classes))
 	s.st.K = k
+	s.st.Classes = s.classes
+	s.metrics.init(len(classes))
 	s.metrics.Reset(0)
 	return s
 }
@@ -130,37 +190,53 @@ func NewSystem(k int, policy Policy) *System {
 // K returns the number of servers.
 func (s *System) K() int { return s.k }
 
+// Classes returns the system's class specs. Callers must not mutate it.
+func (s *System) Classes() []ClassSpec { return s.classes }
+
+// NumClasses returns the number of job classes.
+func (s *System) NumClasses() int { return len(s.classes) }
+
 // Clock returns the current simulation time.
 func (s *System) Clock() float64 { return s.clock }
 
 // Policy returns the governing policy.
 func (s *System) Policy() Policy { return s.policy }
 
-// NumInelastic returns the number of inelastic jobs in system.
-func (s *System) NumInelastic() int { return len(s.inelastic) }
-
-// NumElastic returns the number of elastic jobs in system.
-func (s *System) NumElastic() int { return len(s.elastic) }
+// NumClass returns the number of class-c jobs in system (0 for a class the
+// system does not have).
+func (s *System) NumClass(c Class) int {
+	if c < 0 || int(c) >= len(s.queues) {
+		return 0
+	}
+	return len(s.queues[c])
+}
 
 // NumJobs returns the total number of jobs in system.
-func (s *System) NumJobs() int { return len(s.inelastic) + len(s.elastic) }
+func (s *System) NumJobs() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
 
 // Work returns the total remaining work W(t).
-func (s *System) Work() float64 { return s.WorkInelastic() + s.WorkElastic() }
-
-// WorkInelastic returns the remaining inelastic work W_I(t).
-func (s *System) WorkInelastic() float64 {
+func (s *System) Work() float64 {
 	w := 0.0
-	for _, j := range s.inelastic {
-		w += j.Remaining
+	for c := range s.queues {
+		w += s.WorkClass(Class(c))
 	}
 	return w
 }
 
-// WorkElastic returns the remaining elastic work W_E(t).
-func (s *System) WorkElastic() float64 {
+// WorkClass returns the remaining class-c work W_c(t) (0 for a class the
+// system does not have).
+func (s *System) WorkClass(c Class) float64 {
+	if c < 0 || int(c) >= len(s.queues) {
+		return 0
+	}
 	w := 0.0
-	for _, j := range s.elastic {
+	for _, j := range s.queues[c] {
 		w += j.Remaining
 	}
 	return w
@@ -185,13 +261,24 @@ func (s *System) Arrive(a Arrival) *Job {
 	if a.Size <= 0 {
 		panic("sim: job size must be positive")
 	}
-	j := &Job{ID: s.nextID, Class: a.Class, Arrival: s.clock, Size: a.Size, Remaining: a.Size}
-	s.nextID++
-	if a.Class == Inelastic {
-		s.inelastic = append(s.inelastic, j)
-	} else {
-		s.elastic = append(s.elastic, j)
+	if a.Class < 0 || int(a.Class) >= len(s.classes) {
+		panic(fmt.Sprintf("sim: arrival of unknown class %d on a %d-class system", a.Class, len(s.classes)))
 	}
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free = s.free[:n-1]
+		*j = Job{}
+	} else {
+		j = &Job{}
+	}
+	j.ID = s.nextID
+	j.Class = a.Class
+	j.Arrival = s.clock
+	j.Size = a.Size
+	j.Remaining = a.Size
+	s.nextID++
+	s.queues[a.Class] = append(s.queues[a.Class], j)
 	s.metrics.arrivals[a.Class]++
 	s.allocDirty = true
 	return j
@@ -271,10 +358,10 @@ func (s *System) refreshAllocation() {
 	}
 	s.allocDirty = false
 	s.st.Time = s.clock
-	s.st.Inelastic = s.inelastic
-	s.st.Elastic = s.elastic
-	s.alloc.Inelastic = resizeZero(s.alloc.Inelastic, len(s.inelastic))
-	s.alloc.Elastic = resizeZero(s.alloc.Elastic, len(s.elastic))
+	s.st.Queues = s.queues
+	for c, q := range s.queues {
+		s.alloc.Classes[c] = resizeZero(s.alloc.Classes[c], len(q))
+	}
 	s.policy.Allocate(&s.st, &s.alloc)
 	s.applyAllocation()
 }
@@ -293,25 +380,28 @@ func resizeZero(sl []float64, n int) []float64 {
 func (s *System) applyAllocation() {
 	const eps = 1e-9
 	total := 0.0
-	for i, j := range s.inelastic {
-		a := s.alloc.Inelastic[i]
-		if a < -eps || a > 1+eps {
-			panic(fmt.Sprintf("sim: policy %s allocated %v servers to inelastic job", s.policy.Name(), a))
+	for c, q := range s.queues {
+		spec := &s.classes[c]
+		capC := spec.Cap()
+		// Linear and capped speedups satisfy s(a) = a for every feasible
+		// (clamped) allocation, so the dispatch through Speedup.Rate is
+		// hoisted out of the hot loop.
+		identityRate := spec.Speedup.kind == speedupLinear || spec.Speedup.kind == speedupCapped
+		for i, j := range q {
+			a := s.alloc.Classes[c][i]
+			if a < -eps || a > capC+eps {
+				panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
+					s.policy.Name(), a, spec.Speedup, capC))
+			}
+			a = clamp(a, 0, capC)
+			j.servers = a
+			if identityRate {
+				j.rate = a
+			} else {
+				j.rate = spec.Speedup.Rate(a)
+			}
+			total += a
 		}
-		a = clamp(a, 0, 1)
-		j.rate = a
-		total += a
-	}
-	for i, j := range s.elastic {
-		a := s.alloc.Elastic[i]
-		if a < -eps {
-			panic(fmt.Sprintf("sim: policy %s allocated negative servers", s.policy.Name()))
-		}
-		if a < 0 {
-			a = 0
-		}
-		j.rate = a
-		total += a
 	}
 	if total > float64(s.k)+1e-6 {
 		panic(fmt.Sprintf("sim: policy %s allocated %v servers on a %d-server system", s.policy.Name(), total, s.k))
@@ -320,32 +410,31 @@ func (s *System) applyAllocation() {
 }
 
 // nextCompletion returns the next finishing job under current rates and its
-// absolute finish time, or (nil, +inf) when nothing is running.
+// absolute finish time, or (nil, +inf) when nothing is running. Candidates
+// are rebuilt into the event queue in class-then-FCFS order; eventq breaks
+// time ties by insertion order, so simultaneous completions resolve exactly
+// like the historical linear scan (lowest class first, FCFS within a class).
 func (s *System) nextCompletion() (*Job, float64) {
-	best := math.Inf(1)
-	var job *Job
-	scan := func(jobs []*Job) {
-		for _, j := range jobs {
-			var t float64
+	s.evq.Clear()
+	for _, q := range s.queues {
+		for _, j := range q {
 			switch {
 			case j.Remaining <= 0:
-				// Fully depleted but not yet removed (possible when
-				// an allocation change lands exactly on a finish
-				// time): completes immediately.
-				t = s.clock
+				// Fully depleted but not yet removed (possible when an
+				// allocation change lands exactly on a finish time):
+				// completes immediately.
+				s.evq.Append(s.clock, j)
 			case j.rate > 0:
-				t = s.clock + j.Remaining/j.rate
-			default:
-				continue
-			}
-			if t < best {
-				best, job = t, j
+				s.evq.Append(s.clock+j.Remaining/j.rate, j)
 			}
 		}
 	}
-	scan(s.inelastic)
-	scan(s.elastic)
-	return job, best
+	if s.evq.Empty() {
+		return nil, math.Inf(1)
+	}
+	s.evq.Fix()
+	e := s.evq.Peek()
+	return e.Payload.(*Job), e.Time
 }
 
 // advanceWork depletes remaining sizes over dt at current rates and
@@ -355,14 +444,11 @@ func (s *System) advanceWork(dt float64) {
 		return
 	}
 	s.metrics.integrate(s, dt)
-	for _, j := range s.inelastic {
-		if j.rate > 0 {
-			j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
-		}
-	}
-	for _, j := range s.elastic {
-		if j.rate > 0 {
-			j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
+	for _, q := range s.queues {
+		for _, j := range q {
+			if j.rate > 0 {
+				j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
+			}
 		}
 	}
 	s.clock += dt
@@ -370,17 +456,14 @@ func (s *System) advanceWork(dt float64) {
 
 func (s *System) complete(j *Job) {
 	j.Remaining = 0
-	removed := false
-	if j.Class == Inelastic {
-		s.inelastic, removed = removeJob(s.inelastic, j)
-	} else {
-		s.elastic, removed = removeJob(s.elastic, j)
-	}
+	var removed bool
+	s.queues[j.Class], removed = removeJob(s.queues[j.Class], j)
 	if !removed {
 		panic("sim: completing job not found in system")
 	}
 	s.completionsBuf = append(s.completionsBuf, Completion{Job: *j, Finished: s.clock})
 	s.metrics.recordCompletion(j, s.clock)
+	s.free = append(s.free, j)
 	s.allocDirty = true
 }
 
@@ -388,6 +471,7 @@ func removeJob(jobs []*Job, j *Job) ([]*Job, bool) {
 	for i, cand := range jobs {
 		if cand == j {
 			copy(jobs[i:], jobs[i+1:])
+			jobs[len(jobs)-1] = nil
 			return jobs[:len(jobs)-1], true
 		}
 	}

@@ -14,15 +14,15 @@ func (ifPolicy) Name() string { return "IF-test" }
 
 func (ifPolicy) Allocate(st *State, alloc *Allocation) {
 	remaining := float64(st.K)
-	for i := range st.Inelastic {
+	for i := range st.Queues[Inelastic] {
 		if remaining <= 0 {
 			break
 		}
-		alloc.Inelastic[i] = 1
+		alloc.Classes[Inelastic][i] = 1
 		remaining--
 	}
-	if remaining > 0 && len(st.Elastic) > 0 {
-		alloc.Elastic[0] = remaining
+	if remaining > 0 && len(st.Queues[Elastic]) > 0 {
+		alloc.Classes[Elastic][0] = remaining
 	}
 }
 
@@ -31,15 +31,15 @@ type efPolicy struct{}
 func (efPolicy) Name() string { return "EF-test" }
 
 func (efPolicy) Allocate(st *State, alloc *Allocation) {
-	if len(st.Elastic) > 0 {
-		alloc.Elastic[0] = float64(st.K)
+	if len(st.Queues[Elastic]) > 0 {
+		alloc.Classes[Elastic][0] = float64(st.K)
 		return
 	}
-	for i := range st.Inelastic {
+	for i := range st.Queues[Inelastic] {
 		if i >= st.K {
 			break
 		}
-		alloc.Inelastic[i] = 1
+		alloc.Classes[Inelastic][i] = 1
 	}
 }
 
@@ -206,11 +206,11 @@ type overAllocPolicy struct{}
 func (overAllocPolicy) Name() string { return "over" }
 
 func (overAllocPolicy) Allocate(st *State, alloc *Allocation) {
-	for i := range st.Inelastic {
-		alloc.Inelastic[i] = 1
+	for i := range st.Queues[Inelastic] {
+		alloc.Classes[Inelastic][i] = 1
 	}
-	for i := range st.Elastic {
-		alloc.Elastic[i] = float64(st.K)
+	for i := range st.Queues[Elastic] {
+		alloc.Classes[Elastic][i] = float64(st.K)
 	}
 }
 
@@ -231,8 +231,8 @@ type fatInelasticPolicy struct{}
 func (fatInelasticPolicy) Name() string { return "fat" }
 
 func (fatInelasticPolicy) Allocate(st *State, alloc *Allocation) {
-	for i := range st.Inelastic {
-		alloc.Inelastic[i] = 2 // violates the one-server cap
+	for i := range st.Queues[Inelastic] {
+		alloc.Classes[Inelastic][i] = 2 // violates the one-server cap
 	}
 }
 

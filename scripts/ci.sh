@@ -18,6 +18,16 @@ if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 
+echo "==> unified-engine gate (internal/mcsim must stay deleted)"
+if [ -d internal/mcsim ]; then
+  echo "FAIL: internal/mcsim reappeared; the unified N-class engine in internal/sim replaced it" >&2
+  exit 1
+fi
+if grep -rn --include='*.go' '"repro/internal/mcsim"' . ; then
+  echo "FAIL: an import of repro/internal/mcsim reappeared (use internal/sim's N-class engine)" >&2
+  exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
@@ -26,6 +36,13 @@ go vet ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> cross-engine equivalence gate (two-class preset bit-identical to the frozen pre-unification engine)"
+go test ./internal/sim -run 'TestGolden' -count=1
+go test ./internal/exp -run 'TestGoldenFigure' -count=1
+
+echo "==> allocation-regression gate (steady-state stepping <= 1 alloc/event)"
+go test ./internal/sim -run 'TestSteadyStateAllocs' -count=1
 
 echo "==> exp worker-pool race stress"
 go test -race -run 'TestWorkerPoolStressRace' -count=2 ./internal/exp
