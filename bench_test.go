@@ -40,7 +40,7 @@ func benchFigure4(b *testing.B, rho float64) {
 	grid := exp.DefaultMuGrid()
 	var ifWins, efWins int
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Figure4(context.Background(), 4, rho, grid, 0)
+		points, err := exp.Figure4(context.Background(), 4, rho, grid, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +65,7 @@ func benchFigure5(b *testing.B, rho float64) {
 	muIs := exp.DefaultMuGrid()
 	var left, right exp.CurvePoint
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Figure5(context.Background(), 4, rho, muIs, 0)
+		points, err := exp.Figure5(context.Background(), 4, rho, muIs, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func benchFigure6(b *testing.B, muI float64) {
 	ks := []int{2, 4, 8, 16}
 	var first, last exp.KPoint
 	for i := 0; i < b.N; i++ {
-		points, err := exp.Figure6(context.Background(), 0.9, muI, 1.0, ks, 0)
+		points, err := exp.Figure6(context.Background(), 0.9, muI, 1.0, ks, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func BenchmarkAnalysisVsSimulation(b *testing.B) {
 		// 1M measured jobs per point pushes simulation noise well below
 		// the 1% the busy-period approximation is being tested against.
 		rows, err := exp.ValidateAnalysis(context.Background(), 4, 0.7, []float64{0.5, 2.0},
-			core.SimOptions{Seed: 7, WarmupJobs: 50_000, MaxJobs: 1_000_000}, 0)
+			core.SimOptions{Seed: 7, WarmupJobs: 50_000, MaxJobs: 1_000_000}, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +214,7 @@ func BenchmarkIdlingInterchange(b *testing.B) {
 func BenchmarkBusyPeriodAblation(b *testing.B) {
 	var errCox, errExp float64
 	for i := 0; i < b.N; i++ {
-		rows, err := exp.BusyPeriodAblation(context.Background(), 4, 0.8, []float64{1.0}, 0)
+		rows, err := exp.BusyPeriodAblation(context.Background(), 4, 0.8, []float64{1.0}, exp.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 // Command dominance runs the Theorem 3 coupled sample-path experiment from
 // the command line: two policies are driven in lockstep over identical
 // arrival sequences and the total and inelastic work in system are compared
-// at every event epoch. Independent traces run in parallel on the
-// internal/exp worker pool.
+// at every event epoch. Independent traces run in parallel on an
+// internal/exp dispatch backend — goroutines by default, worker
+// subprocesses with -backend proc.
 //
 // Usage:
 //
 //	dominance -k 4 -rho 0.8 -muI 1.5 -muE 1.0 -a IF -b EF -n 20000 -seeds 5
+//	dominance -k 4 -rho 0.8 -a IF -b FCFS -seeds 8 -backend proc -procs 4
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 )
 
 func main() {
+	exp.MaybeServeWorker() // answer the ProcBackend protocol when spawned as a worker
 	log.SetFlags(0)
 	log.SetPrefix("dominance: ")
 	var (
@@ -33,10 +36,20 @@ func main() {
 		n       = flag.Int("n", 20_000, "arrivals per trace")
 		seeds   = flag.Int("seeds", 5, "number of independent traces")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		backend = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
+		procs   = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+	var be exp.Backend
+	switch *backend {
+	case "pool":
+	case "proc":
+		be = &exp.ProcBackend{Procs: *procs}
+	default:
+		log.Fatalf("unknown -backend %q (want pool or proc)", *backend)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -45,7 +58,7 @@ func main() {
 	runs, err := exp.Dominance(ctx, exp.DominanceConfig{
 		K: *k, Rho: *rho, MuI: *muI, MuE: *muE,
 		PolicyA: *polA, PolicyB: *polB,
-		Arrivals: *n, Seeds: *seeds, Workers: *workers,
+		Arrivals: *n, Seeds: *seeds, Workers: *workers, Backend: be,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,33 @@
+// Command expworker is the subprocess side of the experiment layer's
+// sharded dispatch (exp.ProcBackend): it serves the length-delimited JSONL
+// task protocol on stdin/stdout until stdin closes. It is not meant to be
+// run by hand — exp.ProcBackend spawns one copy per worker slot and feeds
+// it (cell, replication) simulation tasks, analysis points, validation
+// rows and dominance traces:
+//
+//	simulate -backend proc -procs 4 ...   # workers re-exec the simulate binary
+//	exp.ProcBackend{Command: []string{"/path/to/expworker"}}
+//
+// Pointing ProcBackend.Command at a built expworker keeps the worker image
+// separate from the driver binary; by default ProcBackend re-executes the
+// calling binary instead (cmd/simulate, cmd/figures and cmd/dominance all
+// answer the protocol via exp.MaybeServeWorker).
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("expworker: ")
+	if len(os.Args) > 1 {
+		log.Fatalf("expworker takes no arguments; it serves the exp.ProcBackend protocol on stdin/stdout (got %v)", os.Args[1:])
+	}
+	if err := exp.ServeWorker(os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

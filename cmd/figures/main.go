@@ -1,6 +1,8 @@
 // Command figures regenerates every figure of the paper's evaluation
 // section as CSV (and an ASCII rendering for the heat maps), dispatching
-// each figure's parameter grid across the internal/exp worker pool:
+// each figure's parameter grid across an internal/exp backend — the
+// in-process goroutine pool by default, or sharded worker subprocesses
+// with -backend proc (bit-identical output either way):
 //
 //	figures -fig 4            # heat maps of Figure 4a/4b/4c
 //	figures -fig 5            # curves of Figure 5a/5b/5c
@@ -9,6 +11,7 @@
 //	figures -fig ablation     # busy-period fit ablation
 //	figures -fig mix          # Section 6 class-mix sweep (N-class engine)
 //	figures -fig all          # everything, written to -outdir
+//	figures -fig mix -backend proc -procs 4
 package main
 
 import (
@@ -49,6 +52,7 @@ func ysOf(points []exp.CurvePoint, ifPolicy bool) []float64 {
 }
 
 func main() {
+	exp.MaybeServeWorker() // answer the ProcBackend protocol when spawned as a worker
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
@@ -57,6 +61,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "smaller grids / shorter simulations")
 		svg     = flag.Bool("svg", false, "also render SVG figures into -outdir")
 		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		backend = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
+		procs   = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -64,6 +70,14 @@ func main() {
 	}
 	if *svg && *outdir == "" {
 		log.Fatal("-svg requires -outdir")
+	}
+	opt := exp.Options{Workers: *workers}
+	switch *backend {
+	case "pool":
+	case "proc":
+		opt.Backend = &exp.ProcBackend{Procs: *procs}
+	default:
+		log.Fatalf("unknown -backend %q (want pool or proc)", *backend)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -108,7 +122,7 @@ func main() {
 			rho  float64
 			name string
 		}{{0.5, "fig4a_low_load.csv"}, {0.7, "fig4b_med_load.csv"}, {0.9, "fig4c_high_load.csv"}} {
-			points, err := exp.Figure4(ctx, 4, cfg.rho, grid, *workers)
+			points, err := exp.Figure4(ctx, 4, cfg.rho, grid, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -138,7 +152,7 @@ func main() {
 			rho  float64
 			name string
 		}{{0.5, "fig5a_low_load.csv"}, {0.7, "fig5b_med_load.csv"}, {0.9, "fig5c_high_load.csv"}} {
-			points, err := exp.Figure5(ctx, 4, cfg.rho, grid, *workers)
+			points, err := exp.Figure5(ctx, 4, cfg.rho, grid, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -169,7 +183,7 @@ func main() {
 			muI  float64
 			name string
 		}{{0.25, "fig6a_muI_0.25.csv"}, {3.25, "fig6b_muI_3.25.csv"}} {
-			points, err := exp.Figure6(ctx, 0.9, cfg.muI, 1.0, ks, *workers)
+			points, err := exp.Figure6(ctx, 0.9, cfg.muI, 1.0, ks, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -198,13 +212,13 @@ func main() {
 	}
 
 	runValidate := func() {
-		opt := core.SimOptions{Seed: 7, WarmupJobs: 50_000, MaxJobs: 1_000_000}
+		simOpt := core.SimOptions{Seed: 7, WarmupJobs: 50_000, MaxJobs: 1_000_000}
 		muIs := []float64{0.5, 1.0, 2.0, 3.0}
 		if *quick {
-			opt.MaxJobs = 200_000
+			simOpt.MaxJobs = 200_000
 			muIs = []float64{0.5, 2.0}
 		}
-		rows, err := exp.ValidateAnalysis(ctx, 4, 0.7, muIs, opt, *workers)
+		rows, err := exp.ValidateAnalysis(ctx, 4, 0.7, muIs, simOpt, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -217,7 +231,9 @@ func main() {
 
 	// runMix sweeps the Section 6 class-mix presets end to end on the
 	// unified N-class engine: every mix × policy cell is one simulation
-	// replication set on the worker pool.
+	// replication set on the configured backend. Tail mode reports
+	// per-class p99 response times alongside the means (ROADMAP "tail
+	// metrics on mixes").
 	runMix := func() {
 		sweep := exp.Sweep{
 			Name: "figures-mix",
@@ -228,13 +244,14 @@ func main() {
 				Policies: []string{"LFF", "SMF", "EF", "EQUI", "FCFS"},
 			},
 			Reps: 3, Warmup: 20_000, Jobs: 200_000,
+			Tail: true,
 		}
 		if *quick {
 			sweep.Grid.Rho = []float64{0.7}
 			sweep.Reps = 1
 			sweep.Warmup, sweep.Jobs = 5_000, 50_000
 		}
-		rs, err := exp.Run(ctx, sweep, exp.Options{Workers: *workers})
+		rs, err := exp.Run(ctx, sweep, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -268,7 +285,7 @@ func main() {
 		if *quick {
 			muIs = []float64{1.0}
 		}
-		rows, err := exp.BusyPeriodAblation(ctx, 4, 0.8, muIs, *workers)
+		rows, err := exp.BusyPeriodAblation(ctx, 4, 0.8, muIs, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,12 @@
 //	simulate -k 8 -rho 0.7 -scenario mapreduce,mlplatform -policy IF,EF
 //	simulate -k 8 -rho 0.5,0.7 -mix threeclass,partialelastic -policy LFF,EQUI,EF
 //	simulate -k 4 -rho 0.9 -muI 1 -muE 1 -policy IF -cache sweep.jsonl -csv out.csv
+//	simulate -k 4 -rho 0.7,0.9 -mix threeclass -policy LFF,EQUI -tail -backend proc -procs 4
+//
+// -backend proc shards the (cell, replication) tasks across worker
+// subprocesses (exp.ProcBackend); results are bit-identical to the default
+// goroutine pool. -tail adds reservoir-sampled p99 response times, overall
+// and per class.
 package main
 
 import (
@@ -63,6 +69,7 @@ func parseList(s string) []string {
 }
 
 func main() {
+	exp.MaybeServeWorker() // answer the ProcBackend protocol when spawned as a worker
 	log.SetFlags(0)
 	log.SetPrefix("simulate: ")
 	var (
@@ -80,6 +87,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		reps     = flag.Int("reps", 1, "independent replications per cell")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
+		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		tail     = flag.Bool("tail", false, "also report p99 response times, overall and per class")
 		cache    = flag.String("cache", "", "JSONL result cache; completed cells are reused across runs")
 		csvPath  = flag.String("csv", "", "also write the result table as CSV to this file")
 		jsonPath = flag.String("json", "", "also write the full result set (per-replication detail) as JSON to this file")
@@ -115,6 +125,7 @@ func main() {
 		Jobs:       *jobs,
 		AutoWarmup: *autoWarm,
 		Batches:    *batches,
+		Tail:       *tail,
 	}
 	if len(sweep.Grid.Scenarios) > 0 && len(sweep.Grid.Mixes) > 0 {
 		log.Fatal("-scenario and -mix are mutually exclusive")
@@ -133,11 +144,22 @@ func main() {
 	}
 
 	opt := exp.Options{Workers: *workers}
+	switch *backend {
+	case "pool":
+	case "proc":
+		opt.Backend = &exp.ProcBackend{Procs: *procs}
+	default:
+		log.Fatalf("unknown -backend %q (want pool or proc)", *backend)
+	}
 	if *cache != "" {
 		fc, err := exp.OpenFileCache(*cache)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if n := fc.Corrupt(); n > 0 {
+			log.Printf("warning: cache %s: skipped %d corrupt line(s); the affected cells will be recomputed", *cache, n)
+		}
+		defer fc.Close()
 		opt.Cache = fc
 	}
 
@@ -172,6 +194,13 @@ func main() {
 		if len(cr.ETPerClass) > 2 {
 			fmt.Printf("%-9s per-class E[T]:", "")
 			for i, v := range cr.ETPerClass {
+				fmt.Printf(" [%d]=%.6f", i, v)
+			}
+			fmt.Println()
+		}
+		if len(cr.P99PerClass) > 0 {
+			fmt.Printf("%-9s p99: all=%.6f", "", cr.P99)
+			for i, v := range cr.P99PerClass {
 				fmt.Printf(" [%d]=%.6f", i, v)
 			}
 			fmt.Println()

@@ -54,12 +54,24 @@ func (c *MemCache) Len() int {
 // FileCache is a Cache persisted as JSON lines — one completed cell per
 // line, appended and flushed as each cell finishes, so an interrupted sweep
 // loses at most the in-flight cells. A corrupt line (e.g. truncated by a
-// hard kill mid-append) is skipped on load: cached entries are only an
-// optimization, never the source of truth.
+// hard kill mid-append) is skipped on load and counted (Corrupt): cached
+// entries are only an optimization, never the source of truth.
+//
+// Concurrency contract: within one process the cache is safe for any
+// number of goroutines. Across processes, the file is opened O_APPEND and
+// every record is a single write(2), so concurrent appenders on a local
+// (POSIX) filesystem never interleave records — but each process only sees
+// the entries that existed when it opened the cache, and duplicate keys
+// resolve last-line-wins on the next load. The supported arrangement is
+// one writer per sweep: exp.ProcBackend keeps it that way by design, since
+// only the submitting process touches the cache and workers never see its
+// path. Do not share a cache file over NFS.
 type FileCache struct {
-	mu   sync.Mutex
-	path string
-	mem  map[string]CellResult
+	mu      sync.Mutex
+	path    string
+	f       *os.File // lazily-opened O_APPEND handle, held for the cache's lifetime
+	mem     map[string]CellResult
+	corrupt int
 }
 
 type fileCacheRecord struct {
@@ -87,7 +99,8 @@ func OpenFileCache(path string) (*FileCache, error) {
 		}
 		var rec fileCacheRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			continue // skip corrupt lines; see type comment
+			fc.corrupt++ // skip but count corrupt lines; see type comment
+			continue
 		}
 		fc.mem[rec.Key] = rec.Result
 	}
@@ -105,8 +118,9 @@ func (c *FileCache) Get(key string) (CellResult, bool) {
 	return cr, ok
 }
 
-// Put implements Cache: the record is appended to the file and fsynced
-// before the in-memory index is updated.
+// Put implements Cache: the record is appended to the file — through a
+// persistent O_APPEND handle, one write(2) per record — and fsynced before
+// the in-memory index is updated.
 func (c *FileCache) Put(key string, cr CellResult) error {
 	line, err := json.Marshal(fileCacheRecord{Key: key, Result: cr})
 	if err != nil {
@@ -115,22 +129,37 @@ func (c *FileCache) Put(key string, cr CellResult) error {
 	line = append(line, '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	f, err := os.OpenFile(c.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("exp: opening cache for append: %w", err)
+	if c.f == nil {
+		f, err := os.OpenFile(c.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("exp: opening cache for append: %w", err)
+		}
+		c.f = f
 	}
-	if _, err := f.Write(line); err != nil {
-		f.Close()
+	if _, err := c.f.Write(line); err != nil {
 		return fmt.Errorf("exp: appending cache record: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err := c.f.Sync(); err != nil {
 		return fmt.Errorf("exp: syncing cache: %w", err)
 	}
-	if err := f.Close(); err != nil {
+	c.mem[key] = cr
+	return nil
+}
+
+// Close releases the append handle; Get keeps serving from memory and the
+// next Put reopens the file. A zero-Put cache never created or opened the
+// file, and Close on it is a no-op.
+func (c *FileCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	if err != nil {
 		return fmt.Errorf("exp: closing cache: %w", err)
 	}
-	c.mem[key] = cr
 	return nil
 }
 
@@ -139,4 +168,13 @@ func (c *FileCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.mem)
+}
+
+// Corrupt reports how many undecodable lines the load skipped — nonzero
+// after a hard kill mid-append or a concurrent-writer interleaving, and
+// worth surfacing to the user (cmd/simulate warns when it is not zero).
+func (c *FileCache) Corrupt() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.corrupt
 }

@@ -94,20 +94,37 @@ func protect[T any](i int, fn func(int) (T, error)) (v T, err error) {
 
 // Options configure the dispatcher.
 type Options struct {
-	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	// Workers is the pool size of the default PoolBackend; <= 0 means
+	// GOMAXPROCS. Ignored when Backend is set.
 	Workers int
 	// Cache, when non-nil, is consulted before running a cell and updated
 	// the moment a cell's last replication finishes — so a canceled sweep
-	// still banks its completed cells and a re-run is incremental.
+	// still banks its completed cells and a re-run is incremental. The
+	// cache is only ever touched by the submitting process, never by
+	// ProcBackend workers.
 	Cache Cache
+	// Backend executes the tasks; nil means PoolBackend{Workers: Workers}
+	// (goroutines of this process). Use &ProcBackend{...} to shard tasks
+	// across worker subprocesses.
+	Backend Backend
 }
 
-// Run executes the sweep: every (cell, replication) pair is one Map task on
-// the worker pool. Replication seeds depend only on cell identity and
-// replication index, and per-cell aggregation always consumes replications
-// in index order, so the returned ResultSet is bit-identical for any worker
-// count. On error or cancellation Run returns nil and the error; cells that
-// completed before the interruption are in the cache (if one was given).
+// backend resolves the effective Backend.
+func (o Options) backend() Backend {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return PoolBackend{Workers: o.Workers}
+}
+
+// Run executes the sweep: every (cell, replication) pair is one task
+// submitted to the configured Backend (the in-process goroutine pool by
+// default). Replication seeds depend only on cell identity and replication
+// index, and per-cell aggregation always consumes replications in index
+// order, so the returned ResultSet is bit-identical for any worker count
+// and any backend. On error or cancellation Run returns nil and the error;
+// cells that completed before the interruption are in the cache (if one was
+// given).
 func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 	if err := sw.validate(); err != nil {
 		return nil, err
@@ -116,8 +133,9 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 	rs := &ResultSet{Sweep: sw, Cells: make([]CellResult, len(cells))}
 	reps := sw.reps()
 
-	type task struct{ ci, rep int }
-	var pending []task
+	type slot struct{ ci, rep int }
+	var pending []slot
+	var tasks []Task
 	repsByCell := make([][]Replication, len(cells))
 	left := make([]int, len(cells))
 	for ci, c := range cells {
@@ -129,20 +147,23 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 		}
 		repsByCell[ci] = make([]Replication, reps)
 		left[ci] = reps
+		key := sw.Key(c)
 		for rep := 0; rep < reps; rep++ {
-			pending = append(pending, task{ci, rep})
+			pending = append(pending, slot{ci, rep})
+			tasks = append(tasks, Task{Sim: &TaskSpec{
+				Cell: c, Rep: rep, Seed: sw.repSeed(c, rep), Key: key,
+			}})
 		}
 	}
 
 	var mu sync.Mutex
-	_, err := Map(ctx, opt.Workers, len(pending), func(i int) (struct{}, error) {
-		t := pending[i]
-		r, err := sw.runReplication(cells[t.ci], t.rep)
-		if err != nil {
-			return struct{}{}, err
+	err := opt.backend().Submit(ctx, Env{Sweep: &sw}, tasks, func(tr TaskResult) error {
+		t := pending[tr.Index]
+		if err := tasks[tr.Index].checkOutcome(tr.Outcome); err != nil {
+			return err
 		}
 		mu.Lock()
-		repsByCell[t.ci][t.rep] = r
+		repsByCell[t.ci][t.rep] = *tr.Outcome.Rep
 		left[t.ci]--
 		done := left[t.ci] == 0
 		var cr CellResult
@@ -152,11 +173,11 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 		}
 		mu.Unlock()
 		if done && opt.Cache != nil {
-			if err := opt.Cache.Put(sw.Key(cells[t.ci]), cr); err != nil {
-				return struct{}{}, fmt.Errorf("exp: caching cell %v: %w", cells[t.ci], err)
+			if err := opt.Cache.Put(tasks[tr.Index].Sim.Key, cr); err != nil {
+				return fmt.Errorf("exp: caching cell %v: %w", cells[t.ci], err)
 			}
 		}
-		return struct{}{}, nil
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -11,10 +11,15 @@
 //   - defining an experiment: a Sweep holds a cartesian Grid over
 //     k × rho × muI × muE × policy (or the Section 1.3 scenario presets from
 //     internal/workload) plus a per-replication simulation budget;
-//   - running it: Run fans the cell × replication tasks out across a worker
-//     pool (GOMAXPROCS workers by default) with deterministic per-task
-//     seeding via internal/xrand-compatible hashing, panic isolation, and
-//     context cancellation — results are bit-identical for any worker count;
+//   - running it: Run turns every cell × replication pair into a
+//     serializable task and submits the batch to a pluggable Backend — the
+//     in-process goroutine pool (PoolBackend, the default) or sharded
+//     worker subprocesses speaking a length-delimited JSONL protocol
+//     (ProcBackend, cmd/expworker) — with deterministic per-task seeding
+//     via internal/xrand-compatible hashing, panic isolation, and context
+//     cancellation; results are bit-identical for any worker count and any
+//     backend, because seeds and cache keys derive from task identity
+//     alone and every backend executes the same runTask code;
 //   - collecting results: replications aggregate through internal/stats
 //     (replication CIs, within-replication batch-means CIs, MSER
 //     autocorrelation-aware warmup trimming), and completed cells are cached
@@ -268,6 +273,12 @@ type Sweep struct {
 	// Batches > 1 records the response series and adds a within-replication
 	// batch-means 95% CI (stats.BatchMeans) to each replication.
 	Batches int `json:"batches,omitempty"`
+	// Tail attaches a reservoir-sampled per-class percentile recorder
+	// (sim.NewClassResponseRecorder) to every replication and reports p99
+	// response times — overall and per class — alongside the means in the
+	// CSV/JSON emitters. Tail sweeps key their cache entries separately;
+	// keys of non-Tail sweeps are unchanged.
+	Tail bool `json:"tail,omitempty"`
 }
 
 func (sw Sweep) reps() int {
@@ -326,8 +337,15 @@ func (sw Sweep) keyString(c Cell) string {
 	if sw.AutoWarmup {
 		warmup = 0 // the fixed budget is ignored in AutoWarmup mode
 	}
-	return fmt.Sprintf("exp1|%s|reps=%d|seed=%d|warmup=%d|jobs=%d|auto=%t|batches=%d",
+	s := fmt.Sprintf("exp1|%s|reps=%d|seed=%d|warmup=%d|jobs=%d|auto=%t|batches=%d",
 		c, sw.reps(), sw.seed(), warmup, sw.Jobs, sw.AutoWarmup, sw.Batches)
+	// The tail component is appended only when enabled so that every
+	// pre-existing cache key stays valid (PR 4's "unchanged cache keys"
+	// contract).
+	if sw.Tail {
+		s += "|tail=1"
+	}
+	return s
 }
 
 // repSeed derives the RNG seed of one replication purely from the cell

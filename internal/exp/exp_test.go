@@ -308,6 +308,47 @@ func TestFileCacheRoundtrip(t *testing.T) {
 	if damaged.Len() != len(first.Cells) {
 		t.Fatalf("damaged cache lost valid lines: %d of %d", damaged.Len(), len(first.Cells))
 	}
+	// ... and the skip is counted, not silent (cmd/simulate warns on it).
+	if got := damaged.Corrupt(); got != 1 {
+		t.Fatalf("damaged cache reports %d corrupt lines, want 1", got)
+	}
+	if got := reopened.Corrupt(); got != 0 {
+		t.Fatalf("clean cache reports %d corrupt lines", got)
+	}
+	if err := damaged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close with no Put ever issued must also be a no-op.
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileCachePersistentAppendHandle: Puts go through one long-lived
+// O_APPEND handle; Close releases it and a later Put transparently reopens.
+func TestFileCachePersistentAppendHandle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	fc, err := OpenFileCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Put("k1", CellResult{ET: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Put("k2", CellResult{ET: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	back, err := OpenFileCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("cache holds %d entries after close/reopen-append, want 2", back.Len())
+	}
 }
 
 func indexOfCell(rs *ResultSet, c Cell) int {

@@ -8,14 +8,15 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/mrt"
-	"repro/internal/sim"
 )
 
 // This file holds the paper's figure and table drivers, ported from their
-// original serial loops onto the worker pool: each grid point is one Map
-// task, so a figure-scale sweep scales with the core count while producing
-// exactly the same points in the same order.
+// original serial loops onto the dispatch backends: each grid point is one
+// serializable task submitted to opt's Backend (the in-process goroutine
+// pool by default, worker subprocesses under ProcBackend), so a
+// figure-scale sweep scales with the hardware while producing exactly the
+// same points in the same order. Options.Cache is ignored here — only
+// Sweep cells are cached.
 
 // DefaultMuGrid reproduces the paper's 0.25..3.5 axes.
 func DefaultMuGrid() []float64 {
@@ -35,25 +36,49 @@ type HeatmapPoint struct {
 	IFWins bool
 }
 
+// analyzePoints fans the exact-analysis points out on opt's backend and
+// returns the per-point results in order — the shared engine of the Figure
+// 4/5/6 drivers.
+func analyzePoints(ctx context.Context, opt Options, pts []AnalyzePoint) ([]AnalyzeOut, error) {
+	tasks := make([]Task, len(pts))
+	for i := range pts {
+		tasks[i] = Task{Analyze: &pts[i]}
+	}
+	outs, err := submitAll(ctx, opt, Env{}, tasks)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]AnalyzeOut, len(outs))
+	for i, out := range outs {
+		res[i] = *out.Analyze
+	}
+	return res, nil
+}
+
 // Figure4 computes one heat map: for each (muI, muE) pair the arrival rates
 // are rescaled to hold rho constant with lambdaI = lambdaE (the paper's
 // protocol), then both policies are analyzed. Points come back in the serial
-// driver's order (muI outer, muE inner) regardless of worker count.
-func Figure4(ctx context.Context, k int, rho float64, grid []float64, workers int) ([]HeatmapPoint, error) {
+// driver's order (muI outer, muE inner) regardless of worker count or
+// backend.
+func Figure4(ctx context.Context, k int, rho float64, grid []float64, opt Options) ([]HeatmapPoint, error) {
 	n := len(grid)
-	return Map(ctx, workers, n*n, func(i int) (HeatmapPoint, error) {
-		muI, muE := grid[i/n], grid[i%n]
-		s := core.ForLoad(k, rho, muI, muE)
-		ifRes, efRes, err := s.Analyze()
-		if err != nil {
-			return HeatmapPoint{}, fmt.Errorf("figure4 at (muI=%g, muE=%g): %w", muI, muE, err)
+	pts := make([]AnalyzePoint, n*n)
+	for i := range pts {
+		pts[i] = AnalyzePoint{K: k, Rho: rho, MuI: grid[i/n], MuE: grid[i%n]}
+	}
+	outs, err := analyzePoints(ctx, opt, pts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]HeatmapPoint, len(outs))
+	for i, out := range outs {
+		points[i] = HeatmapPoint{
+			MuI: pts[i].MuI, MuE: pts[i].MuE,
+			TIF: out.TIF, TEF: out.TEF,
+			IFWins: out.TIF <= out.TEF,
 		}
-		return HeatmapPoint{
-			MuI: muI, MuE: muE,
-			TIF: ifRes.T, TEF: efRes.T,
-			IFWins: ifRes.T <= efRes.T,
-		}, nil
-	})
+	}
+	return points, nil
 }
 
 // CurvePoint is one x-position of the Figure 5 response-time curves.
@@ -64,16 +89,20 @@ type CurvePoint struct {
 
 // Figure5 computes E[T] under IF and EF as a function of muI with muE = 1,
 // rho fixed, lambdaI = lambdaE, k servers.
-func Figure5(ctx context.Context, k int, rho float64, muIs []float64, workers int) ([]CurvePoint, error) {
-	return Map(ctx, workers, len(muIs), func(i int) (CurvePoint, error) {
-		muI := muIs[i]
-		s := core.ForLoad(k, rho, muI, 1.0)
-		ifRes, efRes, err := s.Analyze()
-		if err != nil {
-			return CurvePoint{}, fmt.Errorf("figure5 at muI=%g: %w", muI, err)
-		}
-		return CurvePoint{MuI: muI, TIF: ifRes.T, TEF: efRes.T}, nil
-	})
+func Figure5(ctx context.Context, k int, rho float64, muIs []float64, opt Options) ([]CurvePoint, error) {
+	pts := make([]AnalyzePoint, len(muIs))
+	for i, muI := range muIs {
+		pts[i] = AnalyzePoint{K: k, Rho: rho, MuI: muI, MuE: 1.0}
+	}
+	outs, err := analyzePoints(ctx, opt, pts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]CurvePoint, len(outs))
+	for i, out := range outs {
+		points[i] = CurvePoint{MuI: muIs[i], TIF: out.TIF, TEF: out.TEF}
+	}
+	return points, nil
 }
 
 // KPoint is one x-position of the Figure 6 scaling curves.
@@ -85,16 +114,20 @@ type KPoint struct {
 // Figure6 computes E[T] under IF and EF as the number of servers grows with
 // rho held constant; the paper uses rho = 0.9 and the two extreme muI values
 // of Figure 5c.
-func Figure6(ctx context.Context, rho, muI, muE float64, ks []int, workers int) ([]KPoint, error) {
-	return Map(ctx, workers, len(ks), func(i int) (KPoint, error) {
-		k := ks[i]
-		s := core.ForLoad(k, rho, muI, muE)
-		ifRes, efRes, err := s.Analyze()
-		if err != nil {
-			return KPoint{}, fmt.Errorf("figure6 at k=%d: %w", k, err)
-		}
-		return KPoint{K: k, TIF: ifRes.T, TEF: efRes.T}, nil
-	})
+func Figure6(ctx context.Context, rho, muI, muE float64, ks []int, opt Options) ([]KPoint, error) {
+	pts := make([]AnalyzePoint, len(ks))
+	for i, k := range ks {
+		pts[i] = AnalyzePoint{K: k, Rho: rho, MuI: muI, MuE: muE}
+	}
+	outs, err := analyzePoints(ctx, opt, pts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]KPoint, len(outs))
+	for i, out := range outs {
+		points[i] = KPoint{K: ks[i], TIF: out.TIF, TEF: out.TEF}
+	}
+	return points, nil
 }
 
 // ValidationRow is one line of the analysis-vs-simulation table backing the
@@ -111,50 +144,43 @@ type ValidationRow struct {
 
 // ValidateAnalysis compares the matrix-analytic E[T] against long
 // simulations for both policies at each configuration. Each (muI, policy)
-// pair is one pool task; rows keep the serial driver's order.
-func ValidateAnalysis(ctx context.Context, k int, rho float64, muIs []float64, opt core.SimOptions, workers int) ([]ValidationRow, error) {
+// pair is one backend task; rows keep the serial driver's order.
+func ValidateAnalysis(ctx context.Context, k int, rho float64, muIs []float64, opt core.SimOptions, o Options) ([]ValidationRow, error) {
 	pols := []string{"IF", "EF"}
-	return Map(ctx, workers, len(muIs)*len(pols), func(i int) (ValidationRow, error) {
-		muI, polName := muIs[i/len(pols)], pols[i%len(pols)]
-		s := core.ForLoad(k, rho, muI, 1.0)
-		analyze := mrt.IF
-		if polName == "EF" {
-			analyze = mrt.EF
-		}
-		anRes, err := analyze(s.Params(), mrt.Coxian3Moment)
-		if err != nil {
-			return ValidationRow{}, err
-		}
-		analysis := anRes.T
-		p, err := s.PolicyByName(polName)
-		if err != nil {
-			return ValidationRow{}, err
-		}
-		res := s.Simulate(p, opt)
-		return ValidationRow{
-			K: k, Rho: rho, MuI: muI, MuE: 1.0,
-			Policy:   polName,
-			Analysis: analysis, Simulation: res.MeanT,
-			RelErr:         (res.MeanT - analysis) / analysis,
-			SimCompletions: res.Completions,
-		}, nil
-	})
-}
-
-// BusyPeriodAblation fans the busy-period fit ablation (core.BusyPeriodAblation)
-// out over the muI grid, one pool task per point.
-func BusyPeriodAblation(ctx context.Context, k int, rho float64, muIs []float64, workers int) ([]core.AblationRow, error) {
-	perMu, err := Map(ctx, workers, len(muIs), func(i int) ([]core.AblationRow, error) {
-		return core.BusyPeriodAblation(k, rho, []float64{muIs[i]})
-	})
+	tasks := make([]Task, len(muIs)*len(pols))
+	for i := range tasks {
+		tasks[i] = Task{Validate: &ValidatePoint{
+			K: k, Rho: rho, MuI: muIs[i/len(pols)], MuE: 1.0,
+			Policy: pols[i%len(pols)], Opt: opt,
+		}}
+	}
+	outs, err := submitAll(ctx, o, Env{}, tasks)
 	if err != nil {
 		return nil, err
 	}
-	var out []core.AblationRow
-	for _, rows := range perMu {
-		out = append(out, rows...)
+	rows := make([]ValidationRow, len(outs))
+	for i, out := range outs {
+		rows[i] = *out.Validate
 	}
-	return out, nil
+	return rows, nil
+}
+
+// BusyPeriodAblation fans the busy-period fit ablation (core.BusyPeriodAblation)
+// out over the muI grid, one backend task per point.
+func BusyPeriodAblation(ctx context.Context, k int, rho float64, muIs []float64, o Options) ([]core.AblationRow, error) {
+	tasks := make([]Task, len(muIs))
+	for i, muI := range muIs {
+		tasks[i] = Task{Ablation: &AblationPoint{K: k, Rho: rho, MuI: muI}}
+	}
+	outs, err := submitAll(ctx, o, Env{}, tasks)
+	if err != nil {
+		return nil, err
+	}
+	var rows []core.AblationRow
+	for _, out := range outs {
+		rows = append(rows, out.Ablation...)
+	}
+	return rows, nil
 }
 
 // DominanceConfig describes the Theorem 3 coupled sample-path experiment:
@@ -171,6 +197,9 @@ type DominanceConfig struct {
 	// Tol absorbs floating-point noise in the work comparison (default 1e-7).
 	Tol     float64
 	Workers int
+	// Backend optionally overrides where the traces run (nil means the
+	// in-process pool with Workers goroutines).
+	Backend Backend
 }
 
 // DominanceRun is the outcome of one coupled trace.
@@ -185,7 +214,8 @@ type DominanceRun struct {
 	RatioAB float64
 }
 
-// Dominance runs the coupled experiment, one trace per pool task.
+// Dominance runs the coupled experiment, one trace per backend task (seeds
+// 1..Seeds, in order).
 func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error) {
 	if cfg.K < 1 || cfg.Arrivals < 1 || cfg.Seeds < 1 {
 		return nil, fmt.Errorf("exp: dominance needs k, arrivals and seeds >= 1 (got k=%d n=%d seeds=%d)",
@@ -194,11 +224,11 @@ func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error)
 	if !(cfg.Rho > 0 && cfg.Rho < 1) || cfg.MuI <= 0 || cfg.MuE <= 0 {
 		return nil, fmt.Errorf("exp: dominance needs rho in (0,1) and positive service rates")
 	}
+	// Validate the policy names up front; per-trace instances are
+	// constructed inside each task (see runDominanceTrace) because stateful
+	// policies maintain reusable buffers that must not be shared across
+	// workers.
 	s := core.ForLoad(cfg.K, cfg.Rho, cfg.MuI, cfg.MuE)
-	// Validate the policy names up front; the per-task instances are
-	// constructed inside each task because stateful policies (FCFS, SRPT,
-	// LFF, SMF) maintain reusable buffers that must not be shared across
-	// pool workers.
 	if _, err := s.PolicyByName(cfg.PolicyA); err != nil {
 		return nil, err
 	}
@@ -209,32 +239,23 @@ func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error)
 	if tol == 0 {
 		tol = 1e-7
 	}
-	model := s.Model()
-	return Map(ctx, cfg.Workers, cfg.Seeds, func(i int) (DominanceRun, error) {
-		seed := uint64(i + 1)
-		a, err := s.PolicyByName(cfg.PolicyA)
-		if err != nil {
-			return DominanceRun{}, err
-		}
-		b, err := s.PolicyByName(cfg.PolicyB)
-		if err != nil {
-			return DominanceRun{}, err
-		}
-		trace := model.Trace(seed, cfg.Arrivals)
-		rep := sim.CompareWork(cfg.K, trace, a, b, tol)
-		if rep.CompletedA == 0 || rep.CompletedB == 0 {
-			return DominanceRun{}, fmt.Errorf("exp: dominance seed %d: trace of %d arrivals completed %d/%d jobs; too short to compare",
-				seed, cfg.Arrivals, rep.CompletedA, rep.CompletedB)
-		}
-		run := DominanceRun{
-			Seed: seed, Checked: rep.Checked, Violations: len(rep.Violations),
-			RatioAB: (rep.SumRespA / float64(rep.CompletedA)) / (rep.SumRespB / float64(rep.CompletedB)),
-		}
-		if len(rep.Violations) > 0 {
-			run.First = rep.Violations[0].String()
-		}
-		return run, nil
-	})
+	tasks := make([]Task, cfg.Seeds)
+	for i := range tasks {
+		tasks[i] = Task{Dominance: &DominanceTrace{
+			K: cfg.K, Rho: cfg.Rho, MuI: cfg.MuI, MuE: cfg.MuE,
+			PolicyA: cfg.PolicyA, PolicyB: cfg.PolicyB,
+			Arrivals: cfg.Arrivals, Tol: tol, Seed: uint64(i + 1),
+		}}
+	}
+	outs, err := submitAll(ctx, Options{Workers: cfg.Workers, Backend: cfg.Backend}, Env{}, tasks)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]DominanceRun, len(outs))
+	for i, out := range outs {
+		runs[i] = *out.Dominance
+	}
+	return runs, nil
 }
 
 // RenderHeatmapASCII draws the Figure 4 heat map in the terminal: rows are

@@ -15,7 +15,7 @@ import (
 func TestFigure4Theorem5Region(t *testing.T) {
 	grid := []float64{0.5, 1.0, 1.5, 2.5, 3.5}
 	for _, rho := range []float64{0.5, 0.7, 0.9} {
-		points, err := Figure4(context.Background(), 4, rho, grid, 0)
+		points, err := Figure4(context.Background(), 4, rho, grid, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +33,7 @@ func TestFigure4Theorem5Region(t *testing.T) {
 func TestFigure4EFRegionGrowsWithLoad(t *testing.T) {
 	grid := []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0}
 	count := func(rho float64) int {
-		points, err := Figure4(context.Background(), 4, rho, grid, 0)
+		points, err := Figure4(context.Background(), 4, rho, grid, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,11 +58,11 @@ func TestFigure4EFRegionGrowsWithLoad(t *testing.T) {
 // serial loop's points in the serial loop's order, for any worker count.
 func TestFigure4ParallelMatchesSerial(t *testing.T) {
 	grid := []float64{0.5, 1.0, 2.0}
-	serial, err := Figure4(context.Background(), 4, 0.7, grid, 1)
+	serial, err := Figure4(context.Background(), 4, 0.7, grid, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Figure4(context.Background(), 4, 0.7, grid, 8)
+	parallel, err := Figure4(context.Background(), 4, 0.7, grid, Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestFigure4ParallelMatchesSerial(t *testing.T) {
 // high load.
 func TestFigure5Shape(t *testing.T) {
 	muIs := []float64{0.25, 0.5, 1.0, 2.0, 3.5}
-	points, err := Figure5(context.Background(), 4, 0.9, muIs, 0)
+	points, err := Figure5(context.Background(), 4, 0.9, muIs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestFigure5Shape(t *testing.T) {
 func TestFigure6Shape(t *testing.T) {
 	ks := []int{2, 4, 8, 16}
 	// Panel (a): muI = 0.25 (EF better everywhere).
-	a, err := Figure6(context.Background(), 0.9, 0.25, 1.0, ks, 0)
+	a, err := Figure6(context.Background(), 0.9, 0.25, 1.0, ks, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestFigure6Shape(t *testing.T) {
 		}
 	}
 	// Panel (b): muI = 3.25 (IF better everywhere).
-	b, err := Figure6(context.Background(), 0.9, 3.25, 1.0, ks, 0)
+	b, err := Figure6(context.Background(), 0.9, 3.25, 1.0, ks, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestValidateAnalysisWithinOnePercent(t *testing.T) {
 		t.Skip("long validation run")
 	}
 	rows, err := ValidateAnalysis(context.Background(), 4, 0.7, []float64{0.5, 1.0, 2.0},
-		core.SimOptions{Seed: 17, WarmupJobs: 30_000, MaxJobs: 600_000}, 0)
+		core.SimOptions{Seed: 17, WarmupJobs: 30_000, MaxJobs: 600_000}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +245,7 @@ func TestDominanceRejectsBadConfig(t *testing.T) {
 }
 
 func TestBusyPeriodAblationParallel(t *testing.T) {
-	rows, err := BusyPeriodAblation(context.Background(), 4, 0.8, []float64{1.0}, 0)
+	rows, err := BusyPeriodAblation(context.Background(), 4, 0.8, []float64{1.0}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,16 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as a ProcBackend worker: the proc
+// tests leave ProcBackend.Command empty, so the backend re-executes this
+// binary with WorkerEnv set and MaybeServeWorker takes over before any
+// test runs — exactly the path cmd/simulate, cmd/figures and cmd/dominance
+// use in production.
+func TestMain(m *testing.M) {
+	MaybeServeWorker()
+	os.Exit(m.Run())
+}

@@ -141,3 +141,55 @@ func TestTwoClassPrioValidation(t *testing.T) {
 		t.Fatal("PRIO:0 (never serves class 1) accepted for a two-class cell")
 	}
 }
+
+// TestMixTailPercentiles covers the ROADMAP "tail metrics on mixes" item:
+// a Tail sweep over an N-class mix must report per-class p99 response
+// times alongside the means, in the aggregates and in the CSV emitter.
+func TestMixTailPercentiles(t *testing.T) {
+	sw := Sweep{
+		Name: "mix-tail",
+		Grid: Grid{
+			K:        []int{8},
+			Rho:      []float64{0.6},
+			Mixes:    []string{"threeclass"},
+			Policies: []string{"LFF"},
+		},
+		Reps: 2, Warmup: 1_000, Jobs: 10_000,
+		Tail: true,
+	}
+	rs, err := Run(context.Background(), sw, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rs.Cells[0]
+	if len(cr.P99PerClass) != 3 {
+		t.Fatalf("want 3 per-class p99 aggregates, got %v", cr.P99PerClass)
+	}
+	if cr.P99 < cr.ET {
+		t.Fatalf("p99 %v below the mean %v", cr.P99, cr.ET)
+	}
+	for c, v := range cr.P99PerClass {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("class %d: bad p99 %v", c, v)
+		}
+		if v < cr.ETPerClass[c] {
+			t.Fatalf("class %d: p99 %v below its mean %v", c, v, cr.ETPerClass[c])
+		}
+	}
+	var csv strings.Builder
+	if err := rs.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(csv.String(), "\n", 2)[0]
+	if !strings.Contains(header, "p99") || !strings.Contains(header, "p99_per_class") {
+		t.Fatalf("CSV header missing tail columns: %s", header)
+	}
+	row := strings.SplitN(csv.String(), "\n", 3)[1]
+	fields := strings.Split(row, ",")
+	if got := fields[len(fields)-2]; got == "" || got == "0.000000" {
+		t.Fatalf("CSV p99 column empty: %q (row %s)", got, row)
+	}
+	if got := strings.Split(fields[len(fields)-1], ";"); len(got) != 3 {
+		t.Fatalf("CSV p99_per_class column has %d entries, want 3 (row %s)", len(got), row)
+	}
+}

@@ -1,0 +1,324 @@
+package exp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ProcBackend shards tasks across worker subprocesses speaking the
+// length-delimited JSONL protocol of this package over stdin/stdout. Each
+// worker serves one task at a time; tasks are pulled from a shared queue,
+// so fast workers naturally take more of the load. The backend survives
+// worker death (crash, OOM kill): the slot restarts its worker and retries
+// the in-flight task as the fresh worker's first task — up to
+// MaxTaskAttempts per task. Canceling the submit context kills the whole
+// worker set.
+//
+// Because every task is serializable and seeds/cache keys ride inside the
+// TaskSpec, a ProcBackend run is bit-identical to a PoolBackend run of the
+// same submission (the executing code is the same runTask on both sides of
+// the pipe). This is the load-bearing seam for a future multi-host backend:
+// replacing the pipe transport with a socket changes nothing above it.
+//
+// Each Submit call spawns a fresh worker set and tears it down when the
+// batch completes, so process startup is paid per submission. That cost is
+// negligible against simulation-scale sweeps (the backend's purpose) but
+// dominates micro-batches of cheap analytic tasks — drivers that issue
+// many small submissions (e.g. figures -fig all) work correctly under
+// proc, just without a speedup on the tiny grids.
+type ProcBackend struct {
+	// Procs is the number of worker subprocesses; <= 0 means GOMAXPROCS.
+	Procs int
+	// Command is the worker argv. Empty means re-executing this binary
+	// (os.Executable) — which works for any binary that calls
+	// MaybeServeWorker first thing in main, as cmd/simulate, cmd/figures
+	// and cmd/dominance do. Point it at a built cmd/expworker to keep the
+	// worker image separate.
+	Command []string
+	// MaxTaskAttempts bounds how many times one task is attempted across
+	// worker deaths before the submission fails; <= 0 means 3. A task
+	// *error* (bad cell, panic) is never retried — errors are
+	// deterministic and surface immediately; only worker death triggers a
+	// retry.
+	MaxTaskAttempts int
+	// Stderr receives the workers' stderr; nil means os.Stderr.
+	Stderr io.Writer
+
+	restarts atomic.Int64
+}
+
+// Restarts reports how many worker deaths this backend has survived — an
+// observability hook for the retry tests and for operators watching a
+// flaky fleet.
+func (p *ProcBackend) Restarts() int64 { return p.restarts.Load() }
+
+// Submit implements Backend.
+func (p *ProcBackend) Submit(ctx context.Context, env Env, tasks []Task, emit func(TaskResult) error) error {
+	n := len(tasks)
+	if n == 0 {
+		return ctx.Err()
+	}
+	procs := p.Procs
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs > n {
+		procs = n
+	}
+	command := p.Command
+	if len(command) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("exp: proc backend: resolving worker binary: %w", err)
+		}
+		command = []string{exe}
+	}
+	maxAttempts := p.MaxTaskAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	stderr := p.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	s := &procSubmit{
+		backend:     p,
+		command:     command,
+		env:         env,
+		stderr:      stderr,
+		tasks:       tasks,
+		queue:       make(chan int, n), // capacity n so give-backs never block
+		allDone:     make(chan struct{}),
+		maxAttempts: maxAttempts,
+		emit:        emit,
+		cancel:      cancel,
+		attempts:    make([]int, n),
+	}
+	for i := range tasks {
+		s.queue <- i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.runWorkerLoop(ctx)
+		}()
+	}
+	wg.Wait()
+
+	s.mu.Lock()
+	err := s.firstErr
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// procSubmit is the shared state of one Submit call: the immutable batch
+// plus the mutex-guarded progress accounting the worker slots coordinate
+// through.
+type procSubmit struct {
+	backend     *ProcBackend
+	command     []string
+	env         Env
+	stderr      io.Writer
+	tasks       []Task
+	queue       chan int      // indices of tasks not currently owned by a slot
+	allDone     chan struct{} // closed when the last task completes
+	maxAttempts int
+	emit        func(TaskResult) error
+	cancel      context.CancelFunc
+
+	mu       sync.Mutex
+	firstErr error
+	attempts []int // failed attempts per task
+	done     int
+}
+
+// fail records the submission's first error and cancels the worker set.
+func (s *procSubmit) fail(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil && err != nil {
+		s.firstErr = err
+		s.cancel()
+	}
+	s.mu.Unlock()
+}
+
+// runWorkerLoop owns one worker slot: it keeps a subprocess alive, feeds it
+// tasks one at a time, and restarts it when it dies.
+func (s *procSubmit) runWorkerLoop(ctx context.Context) {
+	var proc *workerProc
+	defer func() {
+		if proc != nil {
+			proc.kill()
+		}
+	}()
+	var i int
+	haveTask := false
+	for {
+		if !haveTask {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.allDone:
+				return
+			case i = <-s.queue:
+				haveTask = true
+			}
+		}
+
+		if proc == nil {
+			wp, err := startWorker(ctx, s.command, s.env, s.stderr)
+			if err != nil {
+				s.queue <- i // give the task back before giving up the slot
+				if ctx.Err() == nil {
+					s.fail(fmt.Errorf("exp: proc backend: starting worker %v: %w", s.command, err))
+				}
+				return
+			}
+			proc = wp
+		}
+
+		resp, err := proc.do(reqMsg{ID: i, Task: s.tasks[i]})
+		if err != nil {
+			// The worker passed the handshake but died (or desynced) with
+			// this task in flight. Keep the task in this slot and retry it
+			// as the restarted worker's *first* task — so a task that was
+			// merely collateral of a flaky worker converges instead of
+			// repeatedly landing at another worker's death boundary —
+			// within its attempt budget.
+			proc.kill()
+			proc = nil
+			if ctx.Err() != nil {
+				s.queue <- i
+				return
+			}
+			s.backend.restarts.Add(1)
+			s.mu.Lock()
+			s.attempts[i]++
+			a := s.attempts[i]
+			s.mu.Unlock()
+			if a >= s.maxAttempts {
+				s.fail(fmt.Errorf("exp: proc backend: %s failed %d times across worker deaths (last: %v)", s.tasks[i].label(), a, err))
+				return
+			}
+			continue
+		}
+		haveTask = false
+		if resp.Err != "" {
+			// Deterministic task failure: do not retry, surface it.
+			s.fail(fmt.Errorf("%s", resp.Err))
+			return
+		}
+		if err := s.emit(TaskResult{Index: i, Outcome: resp.Out}); err != nil {
+			s.fail(err)
+			return
+		}
+		s.mu.Lock()
+		s.done++
+		finished := s.done == len(s.tasks)
+		s.mu.Unlock()
+		if finished {
+			close(s.allDone)
+			return
+		}
+	}
+}
+
+// workerProc is one live worker subprocess with its pipes, past the hello
+// handshake.
+type workerProc struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	bw  *bufio.Writer
+	br  *bufio.Reader
+}
+
+// startWorker launches a worker, completes the hello handshake, and returns
+// the live session. The context is wired into the process itself
+// (exec.CommandContext), so cancellation kills the whole worker set even if
+// a worker is wedged mid-task.
+func startWorker(ctx context.Context, command []string, env Env, stderr io.Writer) (*workerProc, error) {
+	cmd := exec.CommandContext(ctx, command[0], command[1:]...)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stderr = stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	wp := &workerProc{cmd: cmd, in: in, bw: bufio.NewWriter(in), br: bufio.NewReader(out)}
+	if err := writeFrame(wp.bw, helloMsg{V: wireVersion, Env: env}); err != nil {
+		wp.kill()
+		return nil, fmt.Errorf("sending hello: %w", err)
+	}
+	if err := wp.bw.Flush(); err != nil {
+		wp.kill()
+		return nil, fmt.Errorf("sending hello: %w", err)
+	}
+	// The ready ack separates "this binary does not speak the protocol"
+	// (handshake fails here, before any task is risked) from "a task
+	// crashed the worker" (death after a successful handshake, handled by
+	// the per-task retry accounting).
+	var ready respMsg
+	if err := readFrame(wp.br, &ready); err != nil {
+		wp.kill()
+		return nil, fmt.Errorf("handshake failed — is %q a protocol worker (cmd/expworker, or a binary calling exp.MaybeServeWorker first thing in main)? its stderr may name the cause: %w", command[0], err)
+	}
+	if ready.ID != readyID {
+		wp.kill()
+		return nil, fmt.Errorf("handshake desync: worker %q answered hello with id %d", command[0], ready.ID)
+	}
+	return wp, nil
+}
+
+// do runs one request/response exchange.
+func (wp *workerProc) do(req reqMsg) (respMsg, error) {
+	if err := writeFrame(wp.bw, req); err != nil {
+		return respMsg{}, err
+	}
+	if err := wp.bw.Flush(); err != nil {
+		return respMsg{}, err
+	}
+	var resp respMsg
+	if err := readFrame(wp.br, &resp); err != nil {
+		return respMsg{}, fmt.Errorf("worker exited mid-task: %w", err)
+	}
+	if resp.ID != req.ID {
+		return respMsg{}, fmt.Errorf("protocol desync: sent task %d, got response for %d", req.ID, resp.ID)
+	}
+	return resp, nil
+}
+
+// kill tears the worker down and reaps it.
+func (wp *workerProc) kill() {
+	wp.in.Close()
+	if wp.cmd.Process != nil {
+		wp.cmd.Process.Kill()
+	}
+	wp.cmd.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/plot"
@@ -33,14 +34,23 @@ type Replication struct {
 	// ESS is the effective sample size of the response series, n/tau with
 	// tau the integrated autocorrelation time (series modes only).
 	ESS float64 `json:"ess,omitempty"`
+	// P99 is the 99th-percentile response time over all classes and
+	// P99PerClass the per-class tails, recorded through a reservoir-sampled
+	// sim.ResponseRecorder when Sweep.Tail is set (0 for a class with no
+	// completions). In AutoWarmup mode the recorder covers the untrimmed
+	// post-warmup stream.
+	P99         float64   `json:"p99,omitempty"`
+	P99PerClass []float64 `json:"p99PerClass,omitempty"`
 }
 
 // runReplication executes one (cell, replication) task. Panics anywhere in
-// the model, policy or simulator surface as errors for this task only.
+// the model, policy or simulator surface as errors for this task only; the
+// dispatching backend (runTask) prefixes every error with the cell and
+// replication identity.
 func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("exp: cell %v replication %d panicked: %v", c, rep, p)
+			err = fmt.Errorf("panicked: %v", p)
 		}
 	}()
 	seed := sw.repSeed(c, rep)
@@ -64,27 +74,64 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 		WarmupJobs: warmup, MaxJobs: sw.Jobs}
 	r = Replication{Rep: rep, Seed: seed}
 
-	if !sw.collectSeries() {
-		res := sim.Run(cfg)
-		r.MeanT, r.MeanTI, r.MeanTE = res.MeanT, res.MeanTI, res.MeanTE
-		if len(res.PerClassT) > 2 {
-			r.PerClass = res.PerClassT
-		}
-		r.MeanN = res.MeanN
-		r.Util = res.Metrics.Utilization(c.K)
-		r.Completions = res.Completions
-		return r, nil
-	}
-
 	numClasses := 2
 	if specs != nil {
 		numClasses = len(specs)
 	}
+	// The tail recorder draws its reservoir decisions from a stream of the
+	// replication seed, so p99 values are as deterministic as the means.
+	var rr *sim.ResponseRecorder
+	if sw.Tail {
+		rr = sim.NewClassResponseRecorder(numClasses, tailReservoirCap, seed)
+	}
+	record := func(done sim.Completion) {
+		if rr != nil {
+			rr.Observe(done)
+		}
+	}
+	recordTail := func() {
+		if rr == nil {
+			return
+		}
+		r.P99 = zeroNaN(rr.QuantileAll(0.99))
+		r.P99PerClass = make([]float64, numClasses)
+		for cl := range r.P99PerClass {
+			r.P99PerClass[cl] = zeroNaN(rr.Quantile(sim.Class(cl), 0.99))
+		}
+	}
+
+	if !sw.collectSeries() {
+		var res sim.Result
+		if rr != nil {
+			res = sim.RunObserved(cfg, record)
+		} else {
+			res = sim.Run(cfg)
+		}
+		// Per-class means are NaN for a class with no completions in the
+		// measured window; Replication carries 0 instead (see zeroNaN) so
+		// results stay JSON-encodable — identical under every backend and
+		// in the FileCache.
+		r.MeanT = res.MeanT
+		r.MeanTI, r.MeanTE = zeroNaN(res.MeanTI), zeroNaN(res.MeanTE)
+		if len(res.PerClassT) > 2 {
+			r.PerClass = make([]float64, len(res.PerClassT))
+			for i, v := range res.PerClassT {
+				r.PerClass[i] = zeroNaN(v)
+			}
+		}
+		r.MeanN = res.MeanN
+		r.Util = res.Metrics.Utilization(c.K)
+		r.Completions = res.Completions
+		recordTail()
+		return r, nil
+	}
+
 	series := make([]float64, 0, sw.Jobs)
 	classes := make([]sim.Class, 0, sw.Jobs)
 	res := sim.RunObserved(cfg, func(done sim.Completion) {
 		series = append(series, done.Response())
 		classes = append(classes, done.Job.Class)
+		record(done)
 	})
 	trim := 0
 	if sw.AutoWarmup {
@@ -92,7 +139,7 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 	}
 	tail := series[trim:]
 	if len(tail) == 0 {
-		return r, fmt.Errorf("exp: cell %v replication %d: empty response series after trimming", c, rep)
+		return r, fmt.Errorf("empty response series after trimming")
 	}
 	var total stats.Summary
 	byClass := make([]stats.Summary, numClasses)
@@ -101,14 +148,14 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 		byClass[classes[trim+i]].Add(v)
 	}
 	r.MeanT = total.Mean()
-	r.MeanTI = byClass[sim.Inelastic].Mean()
+	r.MeanTI = zeroNaN(byClass[sim.Inelastic].Mean())
 	if numClasses > 1 {
-		r.MeanTE = byClass[sim.Elastic].Mean()
+		r.MeanTE = zeroNaN(byClass[sim.Elastic].Mean())
 	}
 	if numClasses > 2 {
 		r.PerClass = make([]float64, numClasses)
 		for i := range byClass {
-			r.PerClass[i] = byClass[i].Mean()
+			r.PerClass[i] = zeroNaN(byClass[i].Mean())
 		}
 	}
 	r.MeanN = res.MeanN
@@ -119,11 +166,27 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 	if sw.Batches > 1 {
 		bm, err := stats.BatchMeans(tail, sw.Batches)
 		if err != nil {
-			return r, fmt.Errorf("exp: cell %v replication %d: %w", c, rep, err)
+			return r, err
 		}
 		r.BatchCI = bm.CI95()
 	}
+	recordTail()
 	return r, nil
+}
+
+// tailReservoirCap bounds the per-class sample memory of the Sweep.Tail
+// percentile recorder; beyond it the recorder switches to reservoir
+// sampling (deterministic given the replication seed).
+const tailReservoirCap = 1 << 16
+
+// zeroNaN maps the recorder's NaN (class never observed) to 0 so tail
+// fields stay JSON-encodable — NaN cannot cross the FileCache or the
+// ProcBackend wire.
+func zeroNaN(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
 }
 
 // CellResult aggregates a cell's replications. All aggregates are computed
@@ -140,20 +203,32 @@ type CellResult struct {
 	ETE  float64 `json:"etE"`
 	// ETPerClass holds per-class aggregates for class-mix cells with more
 	// than two classes.
-	ETPerClass  []float64 `json:"etPerClass,omitempty"`
+	ETPerClass []float64 `json:"etPerClass,omitempty"`
+	// P99 and P99PerClass average the per-replication tail percentiles
+	// (Sweep.Tail sweeps only).
+	P99         float64   `json:"p99,omitempty"`
+	P99PerClass []float64 `json:"p99PerClass,omitempty"`
 	EN          float64   `json:"en"`
 	Util        float64   `json:"util"`
 	Completions int64     `json:"completions"`
 }
 
 func aggregate(c Cell, reps []Replication) CellResult {
-	var t, ti, te, n, u stats.Summary
-	var perClass []stats.Summary
+	var t, ti, te, n, u, p99 stats.Summary
+	var perClass, p99PerClass []stats.Summary
 	var comp int64
 	for _, r := range reps {
 		t.Add(r.MeanT)
-		ti.Add(r.MeanTI)
-		te.Add(r.MeanTE)
+		// Per-class statistics use 0 as the "class completed nothing in
+		// this replication" marker (responses are strictly positive, so 0
+		// never occurs naturally); such replications are excluded from
+		// that class's mean rather than biasing it toward 0.
+		if r.MeanTI > 0 {
+			ti.Add(r.MeanTI)
+		}
+		if r.MeanTE > 0 {
+			te.Add(r.MeanTE)
+		}
 		n.Add(r.MeanN)
 		u.Add(r.Util)
 		comp += r.Completions
@@ -162,17 +237,44 @@ func aggregate(c Cell, reps []Replication) CellResult {
 				perClass = make([]stats.Summary, len(r.PerClass))
 			}
 			for i, v := range r.PerClass {
-				perClass[i].Add(v)
+				if v > 0 {
+					perClass[i].Add(v)
+				}
+			}
+		}
+		if len(r.P99PerClass) > 0 {
+			if r.P99 > 0 {
+				p99.Add(r.P99)
+			}
+			if p99PerClass == nil {
+				p99PerClass = make([]stats.Summary, len(r.P99PerClass))
+			}
+			for i, v := range r.P99PerClass {
+				if v > 0 {
+					p99PerClass[i].Add(v)
+				}
 			}
 		}
 	}
+	mean0 := func(s stats.Summary) float64 {
+		if s.N() == 0 {
+			return 0 // the class completed nothing in any replication
+		}
+		return s.Mean()
+	}
 	cr := CellResult{
 		Cell: c, Reps: reps,
-		ET: t.Mean(), ETI: ti.Mean(), ETE: te.Mean(),
+		ET: t.Mean(), ETI: mean0(ti), ETE: mean0(te),
 		EN: n.Mean(), Util: u.Mean(), Completions: comp,
 	}
 	for i := range perClass {
-		cr.ETPerClass = append(cr.ETPerClass, perClass[i].Mean())
+		cr.ETPerClass = append(cr.ETPerClass, mean0(perClass[i]))
+	}
+	if p99.N() > 0 {
+		cr.P99 = p99.Mean()
+	}
+	for i := range p99PerClass {
+		cr.P99PerClass = append(cr.P99PerClass, mean0(p99PerClass[i]))
 	}
 	if t.N() >= 2 {
 		cr.ETCI = t.CI95()
@@ -189,22 +291,29 @@ type ResultSet struct {
 	Cells []CellResult `json:"cells"`
 }
 
-// WriteCSV emits one row per cell. For class-mix cells with more than two
-// classes the per-class means are joined with ';' in the last column.
+// WriteCSV emits one row per cell. Per-class columns (means, and p99 tails
+// for Sweep.Tail sweeps) are joined with ';'.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,mix,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions,ET_per_class"); err != nil {
+	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,mix,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions,ET_per_class,p99,p99_per_class"); err != nil {
 		return err
+	}
+	joined := func(vs []float64) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = fmt.Sprintf("%.6f", v)
+		}
+		return strings.Join(parts, ";")
 	}
 	for _, cr := range rs.Cells {
 		c := cr.Cell
-		perClass := make([]string, len(cr.ETPerClass))
-		for i, v := range cr.ETPerClass {
-			perClass[i] = fmt.Sprintf("%.6f", v)
+		p99 := ""
+		if len(cr.P99PerClass) > 0 {
+			p99 = fmt.Sprintf("%.6f", cr.P99)
 		}
-		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d,%s\n",
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d,%s,%s,%s\n",
 			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Mix, c.Policy, len(cr.Reps),
 			cr.ET, cr.ETCI, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions,
-			strings.Join(perClass, ";")); err != nil {
+			joined(cr.ETPerClass), p99, joined(cr.P99PerClass)); err != nil {
 			return err
 		}
 	}

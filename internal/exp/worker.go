@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WorkerEnv is the environment variable ProcBackend sets in its worker
+// subprocesses. A binary that may serve as a dispatch worker (cmd/simulate,
+// cmd/figures, cmd/dominance, and any custom ProcBackend.Command target)
+// calls MaybeServeWorker first thing in main; cmd/expworker serves
+// unconditionally.
+const WorkerEnv = "REPRO_EXP_WORKER"
+
+// workerDieAfterEnv is a fault-injection hook for the worker-death retry
+// tests: when set to N > 0 the worker process exits abruptly (simulating a
+// crash or OOM kill) after serving N tasks.
+const workerDieAfterEnv = "REPRO_EXP_WORKER_DIE_AFTER"
+
+// MaybeServeWorker turns the current process into a dispatch worker when
+// WorkerEnv is set: it serves the ProcBackend wire protocol on
+// stdin/stdout until stdin closes, then exits. Call it first thing in
+// main: ProcBackend re-executes the parent binary's path with *no*
+// arguments, so the worker must take over before the driver parses its
+// (empty) flags and starts acting on their defaults. When WorkerEnv is
+// unset it returns immediately.
+func MaybeServeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "expworker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// ServeWorker is the worker side of ProcBackend's protocol: it reads the
+// hello frame (protocol version + submission Env), then answers request
+// frames with response frames until r reaches a clean EOF. Task panics are
+// recovered into per-task errors by runTask, so a poisoned task is reported
+// without killing the session; only the process-level failures ProcBackend
+// is built to survive (crashes, kills) end a worker abnormally.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	var hello helloMsg
+	if err := readFrame(br, &hello); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // parent went away before the handshake
+		}
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if hello.V != wireVersion {
+		return fmt.Errorf("protocol version mismatch: parent speaks v%d, worker speaks v%d (rebuild the worker binary)", hello.V, wireVersion)
+	}
+	if err := writeFrame(bw, respMsg{ID: readyID}); err != nil {
+		return fmt.Errorf("acknowledging hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("acknowledging hello: %w", err)
+	}
+	dieAfter, _ := strconv.Atoi(os.Getenv(workerDieAfterEnv))
+	served := 0
+	for {
+		var req reqMsg
+		if err := readFrame(br, &req); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("reading request: %w", err)
+		}
+		out, err := runTask(hello.Env, req.Task)
+		resp := respMsg{ID: req.ID, Out: out}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		if werr := writeFrame(bw, resp); werr != nil {
+			// Result not representable (e.g. NaN in a field json cannot
+			// carry): degrade to a task error, which always marshals.
+			resp = respMsg{ID: req.ID, Err: fmt.Sprintf("exp: %s: un-encodable result: %v", req.Task.label(), werr)}
+			if werr := writeFrame(bw, resp); werr != nil {
+				return fmt.Errorf("writing response: %w", werr)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("flushing response: %w", err)
+		}
+		served++
+		if dieAfter > 0 && served >= dieAfter {
+			os.Exit(3) // fault injection: die without cleanup, mid-session
+		}
+	}
+}

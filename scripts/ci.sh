@@ -47,6 +47,20 @@ go test ./internal/sim -run 'TestSteadyStateAllocs' -count=1
 echo "==> exp worker-pool race stress"
 go test -race -run 'TestWorkerPoolStressRace' -count=2 ./internal/exp
 
+echo "==> dispatch-backend equivalence gate (PoolBackend vs ProcBackend bit-identical)"
+go test ./internal/exp -run 'TestKeyAndRepSeedPinned|TestProcBackend|TestGoldenFigureCellsProcBackend' -count=1
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/simulate" ./cmd/simulate
+sweep_flags="-k 2 -rho 0.5,0.7 -muI 1,2 -muE 1 -policy IF,EF -reps 2 -warmup 200 -jobs 2000 -tail"
+"$tmp/simulate" $sweep_flags -backend pool -json "$tmp/pool.json" >/dev/null
+"$tmp/simulate" $sweep_flags -backend proc -procs 2 -json "$tmp/proc.json" >/dev/null
+if ! cmp "$tmp/pool.json" "$tmp/proc.json"; then
+  echo "FAIL: ResultSets differ between -backend pool and -backend proc" >&2
+  exit 1
+fi
+echo "    pool and proc ResultSets byte-identical ($(wc -c < "$tmp/pool.json") bytes)"
+
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
 
