@@ -1,0 +1,151 @@
+// Command benchlog appends one dated entry to a benchmark history file
+// (BENCH_engine.json) from `go test -bench` output on stdin, so the perf
+// trajectory across PRs is preserved instead of overwritten.
+//
+// Usage:
+//
+//	go test ./internal/sim -bench EngineEvent -benchmem | go run ./cmd/benchlog -file BENCH_engine.json -date 2026-07-27 -note "PR 5"
+//
+// The file holds a JSON array of runs, newest last:
+//
+//	[{"date": "...", "note": "...", "benchmarks": [{"benchmark": ..., "ns_per_op": ...}, ...]}, ...]
+//
+// A pre-existing file in the legacy format (a bare array of benchmark
+// objects, the single-snapshot layout written before this tool) is
+// migrated in place: the old snapshot becomes the history's first entry.
+// scripts/bench.sh is the intended caller.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string   `json:"benchmark"`
+	NsPerOp    *float64 `json:"ns_per_op"`
+	BytesPerOp *float64 `json:"bytes_per_op"`
+	AllocsOp   *float64 `json:"allocs_per_op"`
+	CompPerSec *float64 `json:"completions_per_sec"`
+}
+
+// Run is one dated benchmark batch.
+type Run struct {
+	Date       string      `json:"date"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   1234   56.7 ns/op   ..." including
+// sub-benchmark names with slashes.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*?)(?:-\d+)?\s`)
+
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		fields := strings.Fields(line)
+		for i := 1; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			val := v
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = &val
+			case "B/op":
+				b.BytesPerOp = &val
+			case "allocs/op":
+				b.AllocsOp = &val
+			case "completions/sec":
+				b.CompPerSec = &val
+			}
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// load reads the existing history, migrating the legacy single-snapshot
+// layout (a bare array of benchmark objects) into the first history entry.
+func load(path string) ([]Run, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var runs []Run
+	if err := json.Unmarshal(data, &runs); err == nil && validRuns(runs) {
+		return runs, nil
+	}
+	var legacy []Benchmark
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy) > 0 && legacy[0].Name != "" {
+		return []Run{{Date: "pre-history", Note: "legacy single snapshot (migrated)", Benchmarks: legacy}}, nil
+	}
+	return nil, fmt.Errorf("%s: unrecognized layout (neither run history nor legacy snapshot)", path)
+}
+
+// validRuns guards the happy-path unmarshal: json.Unmarshal accepts the
+// legacy layout into []Run with everything zero, which must fall through
+// to the migration branch instead.
+func validRuns(runs []Run) bool {
+	for _, r := range runs {
+		if r.Date == "" {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchlog: ")
+	var (
+		file = flag.String("file", "BENCH_engine.json", "benchmark history file to append to")
+		date = flag.String("date", "", "date stamp for this run (required, e.g. 2026-07-27)")
+		note = flag.String("note", "", "free-form label for this run (e.g. git describe)")
+	)
+	flag.Parse()
+	if *date == "" {
+		log.Fatal("-date is required")
+	}
+	benches, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no Benchmark lines on stdin")
+	}
+	runs, err := load(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, Run{Date: *date, Note: *note, Benchmarks: benches})
+	out, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended %d benchmark(s) to %s (%d run(s) total)\n", len(benches), *file, len(runs))
+}

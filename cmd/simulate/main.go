@@ -13,11 +13,16 @@
 //	simulate -k 8 -rho 0.5,0.7 -mix threeclass,partialelastic -policy LFF,EQUI,EF
 //	simulate -k 4 -rho 0.9 -muI 1 -muE 1 -policy IF -cache sweep.jsonl -csv out.csv
 //	simulate -k 4 -rho 0.7,0.9 -mix threeclass -policy LFF,EQUI -tail -backend proc -procs 4
+//	simulate -k 16 -rho 0.98 -muI 1 -muE 1 -policy IF -engine incremental -jobs 2000000
+//	simulate -k 4 -rho 0.9 -mix threeclass -policy LFF -quantiles 0.5,0.95,0.99,0.999
 //
 // -backend proc shards the (cell, replication) tasks across worker
 // subprocesses (exp.ProcBackend); results are bit-identical to the default
 // goroutine pool. -tail adds reservoir-sampled p99 response times, overall
-// and per class.
+// and per class; -quantiles widens that to any quantile set. -engine
+// incremental opts into O(changed·log n) stepping for near-saturation
+// sweeps with many resident jobs (deterministic, own golden set; the
+// default rebuild engine stays bit-frozen).
 package main
 
 import (
@@ -90,6 +95,8 @@ func main() {
 		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
 		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
 		tail     = flag.Bool("tail", false, "also report p99 response times, overall and per class")
+		quants   = flag.String("quantiles", "", "tail quantiles in (0,1), e.g. 0.5,0.95,0.99,0.999 (implies -tail)")
+		engine   = flag.String("engine", "rebuild", "stepping engine: rebuild (default, bit-frozen goldens) or incremental (O(changed·log n) per event for high-occupancy sweeps)")
 		cache    = flag.String("cache", "", "JSONL result cache; completed cells are reused across runs")
 		csvPath  = flag.String("csv", "", "also write the result table as CSV to this file")
 		jsonPath = flag.String("json", "", "also write the full result set (per-replication detail) as JSON to this file")
@@ -110,6 +117,11 @@ func main() {
 		log.Fatal("-policy must name at least one policy")
 	}
 
+	var tailQuantiles []float64
+	if *quants != "" {
+		tailQuantiles = parseFloats("quantiles", *quants)
+		*tail = true // a quantile set without -tail is clearly meant as a tail request
+	}
 	sweep := exp.Sweep{
 		Name: "simulate",
 		Grid: exp.Grid{
@@ -119,13 +131,15 @@ func main() {
 			Scenarios: parseList(*scenario),
 			Mixes:     parseList(*mix),
 		},
-		Reps:       *reps,
-		BaseSeed:   *seed,
-		Warmup:     *warmup,
-		Jobs:       *jobs,
-		AutoWarmup: *autoWarm,
-		Batches:    *batches,
-		Tail:       *tail,
+		Reps:          *reps,
+		BaseSeed:      *seed,
+		Warmup:        *warmup,
+		Jobs:          *jobs,
+		AutoWarmup:    *autoWarm,
+		Batches:       *batches,
+		Tail:          *tail,
+		TailQuantiles: tailQuantiles,
+		Engine:        *engine,
 	}
 	if len(sweep.Grid.Scenarios) > 0 && len(sweep.Grid.Mixes) > 0 {
 		log.Fatal("-scenario and -mix are mutually exclusive")
@@ -202,6 +216,13 @@ func main() {
 			fmt.Printf("%-9s p99: all=%.6f", "", cr.P99)
 			for i, v := range cr.P99PerClass {
 				fmt.Printf(" [%d]=%.6f", i, v)
+			}
+			fmt.Println()
+		}
+		if len(cr.Quantiles) > 0 {
+			fmt.Printf("%-9s quantiles:", "")
+			for qi, q := range sweep.TailQuantiles {
+				fmt.Printf(" p%g=%.6f", q*100, cr.Quantiles[qi])
 			}
 			fmt.Println()
 		}

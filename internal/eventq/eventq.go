@@ -2,13 +2,26 @@
 // simulator: a binary min-heap ordered by event time with a monotone
 // sequence number breaking ties, so that simultaneous events dequeue in
 // insertion order and runs are exactly reproducible.
+//
+// The queue supports two usage styles. The rebuild style clears and refills
+// the heap from the live job set at every event (Clear + a batch of Appends
+// + one Fix). The incremental style keeps events across steps and
+// invalidates superseded ones lazily: entries carry a caller-managed
+// generation stamp (PushGen), the caller discards entries whose stamp no
+// longer matches on Peek/Pop, and Compact drops accumulated stale entries
+// in one pass when they start to dominate the heap.
 package eventq
 
 // Event is an entry in the queue. Payload is opaque to the queue.
 type Event struct {
 	Time    float64
 	Payload any
-	seq     uint64
+	// Gen is an optional payload generation stamp (set via PushGen) for
+	// callers that invalidate queued events lazily: bump the payload's
+	// live generation and the stale entries are recognized — and skipped
+	// — when they surface. The queue itself never reads it.
+	Gen uint64
+	seq uint64
 }
 
 // Queue is a min-heap of events. The zero value is ready to use.
@@ -25,7 +38,14 @@ func (q *Queue) Empty() bool { return len(q.heap) == 0 }
 
 // Push inserts an event at the given time.
 func (q *Queue) Push(time float64, payload any) {
-	e := Event{Time: time, Payload: payload, seq: q.nextSeq}
+	q.PushGen(time, payload, 0)
+}
+
+// PushGen inserts an event carrying a generation stamp. Tie-breaking is by
+// insertion order exactly as for Push; the stamp only serves the caller's
+// lazy-invalidation protocol (see Event.Gen).
+func (q *Queue) PushGen(time float64, payload any, gen uint64) {
+	e := Event{Time: time, Payload: payload, Gen: gen, seq: q.nextSeq}
 	q.nextSeq++
 	q.heap = append(q.heap, e)
 	q.up(len(q.heap) - 1)
@@ -78,6 +98,51 @@ func (q *Queue) Pop() Event {
 // Clear removes all events but keeps the allocated capacity.
 func (q *Queue) Clear() {
 	q.heap = q.heap[:0]
+}
+
+// Remove deletes the first stored event (in internal heap order, which is
+// arbitrary) for which match returns true and restores the heap invariant;
+// it reports whether an event was removed. The relative dequeue order of
+// the remaining events is unchanged. Cost is O(n) for the search plus
+// O(log n) for the repair; callers deleting many events at once should
+// prefer Compact.
+func (q *Queue) Remove(match func(Event) bool) bool {
+	for i := range q.heap {
+		if !match(q.heap[i]) {
+			continue
+		}
+		last := len(q.heap) - 1
+		q.heap[i] = q.heap[last]
+		q.heap[last] = Event{}
+		q.heap = q.heap[:last]
+		if i < last {
+			q.down(i)
+			q.up(i)
+		}
+		return true
+	}
+	return false
+}
+
+// Compact drops every event for which live returns false and restores the
+// heap invariant in one O(n) pass (filter in place + Floyd heapify). The
+// dequeue order of the surviving events is unchanged: the (time, insertion
+// order) total order is a property of the entries, not of the heap shape.
+// This is the incremental simulator engine's safety valve against stale
+// entries accumulating faster than they surface.
+func (q *Queue) Compact(live func(Event) bool) {
+	kept := q.heap[:0]
+	for _, e := range q.heap {
+		if live(e) {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the dropped tail so discarded payloads do not pin memory.
+	for i := len(kept); i < len(q.heap); i++ {
+		q.heap[i] = Event{}
+	}
+	q.heap = kept
+	q.Fix()
 }
 
 func (q *Queue) less(i, j int) bool {

@@ -1,0 +1,292 @@
+package eventq
+
+// Fuzz coverage for the queue's ordering contract: under ANY interleaving
+// of Push, PushGen, Append(+Fix) and Pop, dequeues must follow the
+// (time, insertion order) total order over the events still in the queue.
+// The fuzz target replays an opcode tape against a straightforward sorted
+// reference model; a divergence in dequeue order, length, payload identity
+// or generation stamp fails the target. The micro-benchmarks below pin the
+// Push-vs-Append/Fix trade-off the simulator engines depend on (rebuild
+// rebuilds the list per event; incremental pushes only changed jobs).
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// refEvent mirrors one queued event in the reference model.
+type refEvent struct {
+	time float64
+	seq  int
+	gen  uint64
+}
+
+// refModel is the executable specification: a slice kept sorted lazily by
+// (time, seq) at pop time.
+type refModel struct {
+	events []refEvent
+	seq    int
+}
+
+func (m *refModel) push(time float64, gen uint64) {
+	m.events = append(m.events, refEvent{time: time, seq: m.seq, gen: gen})
+	m.seq++
+}
+
+func (m *refModel) pop() refEvent {
+	best := 0
+	for i, e := range m.events {
+		b := m.events[best]
+		if e.time < b.time || (e.time == b.time && e.seq < b.seq) {
+			best = i
+		}
+	}
+	e := m.events[best]
+	m.events = append(m.events[:best], m.events[best+1:]...)
+	return e
+}
+
+// FuzzTotalOrder drives a Queue and the reference model with the same
+// opcode tape: each input byte selects Push / PushGen / Append / Fix+drain
+// checkpoints / Pop, with times derived from a seeded RNG so ties are
+// frequent. Appends are only popped after a Fix, matching the documented
+// contract.
+func FuzzTotalOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 0, 4, 4}, uint64(1))
+	f.Add([]byte{2, 2, 2, 3, 4, 4, 4}, uint64(7))
+	f.Add([]byte{0, 2, 1, 3, 0, 4, 2, 3, 4, 4, 4}, uint64(42))
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		if len(ops) > 4096 {
+			t.Skip("tape too long")
+		}
+		r := xrand.New(seed)
+		var q Queue
+		var ref refModel
+		unfixed := 0 // Appends since the last Fix; Pop/Peek are illegal until fixed
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // Push
+				tm := float64(r.Intn(16))
+				q.Push(tm, ref.seq)
+				ref.push(tm, 0)
+			case 1: // PushGen
+				tm := float64(r.Intn(16))
+				gen := uint64(r.Intn(4))
+				q.PushGen(tm, ref.seq, gen)
+				ref.push(tm, gen)
+			case 2: // Append (deferred heapification)
+				tm := float64(r.Intn(16))
+				q.Append(tm, ref.seq)
+				ref.push(tm, 0)
+				unfixed++
+			case 3: // Fix
+				q.Fix()
+				unfixed = 0
+			case 4: // Pop
+				if unfixed > 0 {
+					q.Fix()
+					unfixed = 0
+				}
+				if q.Empty() {
+					if len(ref.events) != 0 {
+						t.Fatalf("queue empty but model holds %d events", len(ref.events))
+					}
+					continue
+				}
+				got := q.Pop()
+				want := ref.pop()
+				if got.Time != want.time || got.Payload.(int) != want.seq || got.Gen != want.gen {
+					t.Fatalf("pop mismatch: got (t=%v, seq=%v, gen=%d), want (t=%v, seq=%v, gen=%d)",
+						got.Time, got.Payload, got.Gen, want.time, want.seq, want.gen)
+				}
+			}
+		}
+		// Drain: the tail must come out in model order too.
+		if unfixed > 0 {
+			q.Fix()
+		}
+		if q.Len() != len(ref.events) {
+			t.Fatalf("length mismatch after tape: queue %d, model %d", q.Len(), len(ref.events))
+		}
+		for !q.Empty() {
+			got, want := q.Pop(), ref.pop()
+			if got.Time != want.time || got.Payload.(int) != want.seq || got.Gen != want.gen {
+				t.Fatalf("drain mismatch: got (t=%v, seq=%v), want (t=%v, seq=%v)",
+					got.Time, got.Payload, want.time, want.seq)
+			}
+		}
+	})
+}
+
+// TestRemove exercises predicate removal: the matched event disappears,
+// everything else dequeues in unchanged order.
+func TestRemove(t *testing.T) {
+	r := xrand.New(3)
+	for trial := 0; trial < 200; trial++ {
+		var q Queue
+		n := 1 + r.Intn(40)
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = float64(r.Intn(8))
+			q.Push(times[i], i)
+		}
+		victim := r.Intn(n)
+		if !q.Remove(func(e Event) bool { return e.Payload.(int) == victim }) {
+			t.Fatalf("trial %d: Remove failed to find payload %d", trial, victim)
+		}
+		if q.Remove(func(e Event) bool { return e.Payload.(int) == victim }) {
+			t.Fatalf("trial %d: Remove found payload %d twice", trial, victim)
+		}
+		// Expected order: (time, insertion index) over the survivors.
+		type pair struct {
+			time float64
+			idx  int
+		}
+		var want []pair
+		for i, tm := range times {
+			if i != victim {
+				want = append(want, pair{tm, i})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].time != want[b].time {
+				return want[a].time < want[b].time
+			}
+			return want[a].idx < want[b].idx
+		})
+		for _, w := range want {
+			e := q.Pop()
+			if e.Time != w.time || e.Payload.(int) != w.idx {
+				t.Fatalf("trial %d: after Remove got (%v, %v), want (%v, %v)",
+					trial, e.Time, e.Payload, w.time, w.idx)
+			}
+		}
+		if !q.Empty() {
+			t.Fatalf("trial %d: events left after drain", trial)
+		}
+	}
+	var q Queue
+	if q.Remove(func(Event) bool { return true }) {
+		t.Fatal("Remove on empty queue reported success")
+	}
+}
+
+// TestCompact drops stale generations and preserves the dequeue order of
+// the survivors, reusing the backing array.
+func TestCompact(t *testing.T) {
+	var q Queue
+	r := xrand.New(9)
+	live := make(map[int]uint64)
+	for i := 0; i < 300; i++ {
+		gen := uint64(r.Intn(3))
+		q.PushGen(float64(r.Intn(10)), i, gen)
+		live[i] = gen
+	}
+	isLive := func(e Event) bool { return e.Gen == 2 }
+	q.Compact(isLive)
+	wantLen := 0
+	for _, g := range live {
+		if g == 2 {
+			wantLen++
+		}
+	}
+	if q.Len() != wantLen {
+		t.Fatalf("Compact kept %d events, want %d", q.Len(), wantLen)
+	}
+	prevTime, prevPayload := math.Inf(-1), -1
+	for !q.Empty() {
+		e := q.Pop()
+		if e.Gen != 2 {
+			t.Fatalf("stale event survived Compact: %+v", e)
+		}
+		if e.Time < prevTime || (e.Time == prevTime && e.Payload.(int) < prevPayload) {
+			t.Fatalf("Compact broke ordering: (%v, %v) after (%v, %v)", e.Time, e.Payload, prevTime, prevPayload)
+		}
+		prevTime, prevPayload = e.Time, e.Payload.(int)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 32; i++ {
+			q.PushGen(float64(i%7), nil, uint64(i%2))
+		}
+		q.Compact(func(e Event) bool { return e.Gen == 0 })
+		q.Clear()
+	})
+	if allocs > 0 {
+		t.Fatalf("Compact allocated %.1f times per pass", allocs)
+	}
+}
+
+// benchSizes are the occupancies pinned by the Push-vs-Append/Fix
+// micro-benchmarks: small (cache-resident), medium, and large heaps.
+var benchSizes = []struct {
+	name string
+	n    int
+}{{"16", 16}, {"256", 256}, {"4096", 4096}}
+
+// BenchmarkBuildPush measures building an n-event list with n heap Pushes
+// (O(n log n)) — the cost profile of the incremental engine's worst event.
+func BenchmarkBuildPush(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			times := benchTimes(sz.n)
+			var q Queue
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Clear()
+				for j, tm := range times {
+					q.Push(tm, j)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildAppendFix measures building the same list with bulk Append
+// plus one Floyd Fix (O(n)) — the rebuild engine's per-event pattern.
+func BenchmarkBuildAppendFix(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			times := benchTimes(sz.n)
+			var q Queue
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Clear()
+				for j, tm := range times {
+					q.Append(tm, j)
+				}
+				q.Fix()
+			}
+		})
+	}
+}
+
+// BenchmarkPushPopSteady measures the incremental engine's steady-state
+// pattern on a standing heap of size n: pop one event, push its successor.
+func BenchmarkPushPopSteady(b *testing.B) {
+	for _, sz := range benchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			var q Queue
+			r := xrand.New(5)
+			for i := 0; i < sz.n; i++ {
+				q.Push(r.Float64()*1e3, nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := q.Pop()
+				q.Push(e.Time+r.Float64()*10, nil)
+			}
+		})
+	}
+}
+
+func benchTimes(n int) []float64 {
+	r := xrand.New(11)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64() * 1e3
+	}
+	return out
+}

@@ -92,6 +92,25 @@ func TestKeyAndRepSeedPinned(t *testing.T) {
 	if got, want := tailed.keyString(cases[0].cell), cases[0].keyString+"|tail=1"; got != want {
 		t.Errorf("Tail keyString = %q, want %q", got, want)
 	}
+	// Same rule for the quantile set (appended after the tail component)
+	// and the stepping engine: only the non-default spellings are keyed.
+	quantiled := tailed
+	quantiled.TailQuantiles = []float64{0.5, 0.95, 0.999}
+	if got, want := quantiled.keyString(cases[0].cell), cases[0].keyString+"|tail=1|tailq=0.5,0.95,0.999"; got != want {
+		t.Errorf("TailQuantiles keyString = %q, want %q", got, want)
+	}
+	for _, spelling := range []string{"", "rebuild"} {
+		def := sw
+		def.Engine = spelling
+		if got := def.keyString(cases[0].cell); got != cases[0].keyString {
+			t.Errorf("Engine=%q keyString = %q, want the unchanged %q", spelling, got, cases[0].keyString)
+		}
+	}
+	inc := sw
+	inc.Engine = "incremental"
+	if got, want := inc.keyString(cases[0].cell), cases[0].keyString+"|engine=incremental"; got != want {
+		t.Errorf("incremental keyString = %q, want %q", got, want)
+	}
 }
 
 // TestPoolBackendMatchesLegacyRun: the Backend refactor must be invisible —

@@ -279,6 +279,20 @@ type Sweep struct {
 	// CSV/JSON emitters. Tail sweeps key their cache entries separately;
 	// keys of non-Tail sweeps are unchanged.
 	Tail bool `json:"tail,omitempty"`
+	// TailQuantiles extends Tail's fixed p99 to a configurable quantile
+	// set (e.g. 0.5, 0.95, 0.99, 0.999), reported per replication and per
+	// cell — overall and per class — alongside the p99 fields, in the
+	// given order. Requires Tail; quantiles must be strictly increasing in
+	// (0, 1). Mirroring the |tail=1 convention, a non-empty set appends a
+	// |tailq=... component to the cache key, so the keys of plain-Tail and
+	// non-Tail sweeps are unchanged.
+	TailQuantiles []float64 `json:"tailQuantiles,omitempty"`
+	// Engine selects the sim stepping engine for every replication:
+	// "" or "rebuild" (the default, bit-frozen by the goldens) or
+	// "incremental" (O(changed·log n) stepping for high-occupancy
+	// sweeps; see sim.Engine). Only the non-default engine is keyed
+	// (|engine=incremental), so all pre-existing cache keys stay valid.
+	Engine string `json:"engine,omitempty"`
 }
 
 func (sw Sweep) reps() int {
@@ -306,6 +320,20 @@ func (sw Sweep) validate() error {
 	}
 	if sw.Batches < 0 || sw.Batches == 1 {
 		return fmt.Errorf("exp: sweep %q: Batches must be 0 (off) or >= 2 (got %d)", sw.Name, sw.Batches)
+	}
+	if _, err := sim.ParseEngine(sw.Engine); err != nil {
+		return fmt.Errorf("exp: sweep %q: %w", sw.Name, err)
+	}
+	if len(sw.TailQuantiles) > 0 && !sw.Tail {
+		return fmt.Errorf("exp: sweep %q sets TailQuantiles without Tail", sw.Name)
+	}
+	for i, q := range sw.TailQuantiles {
+		if !(q > 0 && q < 1) {
+			return fmt.Errorf("exp: sweep %q: tail quantile %g outside (0, 1)", sw.Name, q)
+		}
+		if i > 0 && q <= sw.TailQuantiles[i-1] {
+			return fmt.Errorf("exp: sweep %q: tail quantiles must be strictly increasing (%g after %g)", sw.Name, q, sw.TailQuantiles[i-1])
+		}
 	}
 	if (len(sw.Grid.Scenarios) > 0 || len(sw.Grid.Mixes) > 0) && (len(sw.Grid.MuI) > 0 || len(sw.Grid.MuE) > 0) {
 		return fmt.Errorf("exp: sweep %q: Scenarios/Mixes and MuI/MuE are mutually exclusive (presets fix their size distributions)", sw.Name)
@@ -339,11 +367,23 @@ func (sw Sweep) keyString(c Cell) string {
 	}
 	s := fmt.Sprintf("exp1|%s|reps=%d|seed=%d|warmup=%d|jobs=%d|auto=%t|batches=%d",
 		c, sw.reps(), sw.seed(), warmup, sw.Jobs, sw.AutoWarmup, sw.Batches)
-	// The tail component is appended only when enabled so that every
-	// pre-existing cache key stays valid (PR 4's "unchanged cache keys"
-	// contract).
+	// The tail, quantile-set and engine components are appended only when
+	// enabled so that every pre-existing cache key stays valid (PR 4's
+	// "unchanged cache keys" contract).
 	if sw.Tail {
 		s += "|tail=1"
+	}
+	if len(sw.TailQuantiles) > 0 {
+		s += "|tailq="
+		for i, q := range sw.TailQuantiles {
+			if i > 0 {
+				s += ","
+			}
+			s += fmt.Sprintf("%g", q)
+		}
+	}
+	if eng, err := sim.ParseEngine(sw.Engine); err == nil && eng != sim.EngineRebuild {
+		s += "|engine=" + eng.String()
 	}
 	return s
 }

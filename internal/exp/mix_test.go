@@ -186,10 +186,15 @@ func TestMixTailPercentiles(t *testing.T) {
 	}
 	row := strings.SplitN(csv.String(), "\n", 3)[1]
 	fields := strings.Split(row, ",")
-	if got := fields[len(fields)-2]; got == "" || got == "0.000000" {
+	// The row tail is p99, p99_per_class, quantiles, quantiles_per_class;
+	// the quantile columns are empty unless Sweep.TailQuantiles is set.
+	if got := fields[len(fields)-4]; got == "" || got == "0.000000" {
 		t.Fatalf("CSV p99 column empty: %q (row %s)", got, row)
 	}
-	if got := strings.Split(fields[len(fields)-1], ";"); len(got) != 3 {
+	if got := strings.Split(fields[len(fields)-3], ";"); len(got) != 3 {
 		t.Fatalf("CSV p99_per_class column has %d entries, want 3 (row %s)", len(got), row)
+	}
+	if fields[len(fields)-2] != "" || fields[len(fields)-1] != "" {
+		t.Fatalf("quantile columns not empty without TailQuantiles (row %s)", row)
 	}
 }

@@ -41,6 +41,11 @@ type Replication struct {
 	// post-warmup stream.
 	P99         float64   `json:"p99,omitempty"`
 	P99PerClass []float64 `json:"p99PerClass,omitempty"`
+	// Quantiles holds the response-time quantiles of Sweep.TailQuantiles,
+	// in that order, over all classes; QuantilesPerClass[c][i] is class c's
+	// TailQuantiles[i] quantile (0 for a class with no completions).
+	Quantiles         []float64   `json:"quantiles,omitempty"`
+	QuantilesPerClass [][]float64 `json:"quantilesPerClass,omitempty"`
 }
 
 // runReplication executes one (cell, replication) task. Panics anywhere in
@@ -70,8 +75,12 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 	if sw.AutoWarmup {
 		warmup = 0
 	}
+	engine, err := sim.ParseEngine(sw.Engine)
+	if err != nil {
+		return r, err
+	}
 	cfg := sim.RunConfig{K: c.K, Policy: pol, Source: src, Classes: specs,
-		WarmupJobs: warmup, MaxJobs: sw.Jobs}
+		WarmupJobs: warmup, MaxJobs: sw.Jobs, Engine: engine}
 	r = Replication{Rep: rep, Seed: seed}
 
 	numClasses := 2
@@ -97,6 +106,21 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 		r.P99PerClass = make([]float64, numClasses)
 		for cl := range r.P99PerClass {
 			r.P99PerClass[cl] = zeroNaN(rr.Quantile(sim.Class(cl), 0.99))
+		}
+		if len(sw.TailQuantiles) == 0 {
+			return
+		}
+		r.Quantiles = make([]float64, len(sw.TailQuantiles))
+		for i, q := range sw.TailQuantiles {
+			r.Quantiles[i] = zeroNaN(rr.QuantileAll(q))
+		}
+		r.QuantilesPerClass = make([][]float64, numClasses)
+		for cl := range r.QuantilesPerClass {
+			qs := make([]float64, len(sw.TailQuantiles))
+			for i, q := range sw.TailQuantiles {
+				qs[i] = zeroNaN(rr.Quantile(sim.Class(cl), q))
+			}
+			r.QuantilesPerClass[cl] = qs
 		}
 	}
 
@@ -208,14 +232,20 @@ type CellResult struct {
 	// (Sweep.Tail sweeps only).
 	P99         float64   `json:"p99,omitempty"`
 	P99PerClass []float64 `json:"p99PerClass,omitempty"`
-	EN          float64   `json:"en"`
-	Util        float64   `json:"util"`
-	Completions int64     `json:"completions"`
+	// Quantiles and QuantilesPerClass average the per-replication
+	// quantile sets (Sweep.TailQuantiles sweeps only), index-aligned with
+	// Sweep.TailQuantiles.
+	Quantiles         []float64   `json:"quantiles,omitempty"`
+	QuantilesPerClass [][]float64 `json:"quantilesPerClass,omitempty"`
+	EN                float64     `json:"en"`
+	Util              float64     `json:"util"`
+	Completions       int64       `json:"completions"`
 }
 
 func aggregate(c Cell, reps []Replication) CellResult {
 	var t, ti, te, n, u, p99 stats.Summary
-	var perClass, p99PerClass []stats.Summary
+	var perClass, p99PerClass, quantiles []stats.Summary
+	var quantilesPerClass [][]stats.Summary
 	var comp int64
 	for _, r := range reps {
 		t.Add(r.MeanT)
@@ -255,6 +285,27 @@ func aggregate(c Cell, reps []Replication) CellResult {
 				}
 			}
 		}
+		if len(r.Quantiles) > 0 {
+			if quantiles == nil {
+				quantiles = make([]stats.Summary, len(r.Quantiles))
+				quantilesPerClass = make([][]stats.Summary, len(r.QuantilesPerClass))
+				for cl := range quantilesPerClass {
+					quantilesPerClass[cl] = make([]stats.Summary, len(r.Quantiles))
+				}
+			}
+			for i, v := range r.Quantiles {
+				if v > 0 {
+					quantiles[i].Add(v)
+				}
+			}
+			for cl, qs := range r.QuantilesPerClass {
+				for i, v := range qs {
+					if v > 0 {
+						quantilesPerClass[cl][i].Add(v)
+					}
+				}
+			}
+		}
 	}
 	mean0 := func(s stats.Summary) float64 {
 		if s.N() == 0 {
@@ -276,6 +327,16 @@ func aggregate(c Cell, reps []Replication) CellResult {
 	for i := range p99PerClass {
 		cr.P99PerClass = append(cr.P99PerClass, mean0(p99PerClass[i]))
 	}
+	for i := range quantiles {
+		cr.Quantiles = append(cr.Quantiles, mean0(quantiles[i]))
+	}
+	for cl := range quantilesPerClass {
+		qs := make([]float64, len(quantilesPerClass[cl]))
+		for i := range qs {
+			qs[i] = mean0(quantilesPerClass[cl][i])
+		}
+		cr.QuantilesPerClass = append(cr.QuantilesPerClass, qs)
+	}
 	if t.N() >= 2 {
 		cr.ETCI = t.CI95()
 	} else if len(reps) == 1 {
@@ -292,9 +353,12 @@ type ResultSet struct {
 }
 
 // WriteCSV emits one row per cell. Per-class columns (means, and p99 tails
-// for Sweep.Tail sweeps) are joined with ';'.
+// for Sweep.Tail sweeps) are joined with ';'. For Sweep.TailQuantiles
+// sweeps the quantiles column holds q=value pairs joined with ';' and the
+// quantiles_per_class column holds one such group per class, classes
+// joined with '|'.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,mix,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions,ET_per_class,p99,p99_per_class"); err != nil {
+	if _, err := fmt.Fprintln(w, "k,rho,muI,muE,scenario,mix,policy,reps,ET,ET_ci95,ET_I,ET_E,EN,util,completions,ET_per_class,p99,p99_per_class,quantiles,quantiles_per_class"); err != nil {
 		return err
 	}
 	joined := func(vs []float64) string {
@@ -304,16 +368,28 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 		}
 		return strings.Join(parts, ";")
 	}
+	qJoined := func(vs []float64) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = fmt.Sprintf("%g=%.6f", rs.Sweep.TailQuantiles[i], v)
+		}
+		return strings.Join(parts, ";")
+	}
 	for _, cr := range rs.Cells {
 		c := cr.Cell
 		p99 := ""
 		if len(cr.P99PerClass) > 0 {
 			p99 = fmt.Sprintf("%.6f", cr.P99)
 		}
-		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d,%s,%s,%s\n",
+		qPerClass := make([]string, len(cr.QuantilesPerClass))
+		for cl, qs := range cr.QuantilesPerClass {
+			qPerClass[cl] = qJoined(qs)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%s,%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f,%d,%s,%s,%s,%s,%s\n",
 			c.K, c.Rho, c.MuI, c.MuE, c.Scenario, c.Mix, c.Policy, len(cr.Reps),
 			cr.ET, cr.ETCI, cr.ETI, cr.ETE, cr.EN, cr.Util, cr.Completions,
-			joined(cr.ETPerClass), p99, joined(cr.P99PerClass)); err != nil {
+			joined(cr.ETPerClass), p99, joined(cr.P99PerClass),
+			qJoined(cr.Quantiles), strings.Join(qPerClass, "|")); err != nil {
 			return err
 		}
 	}

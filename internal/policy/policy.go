@@ -25,6 +25,16 @@
 // orderings that depend on the class set (LFF, SMF) are computed once and
 // maintained across events rather than re-sorted per event, keeping every
 // Allocate call allocation-free in steady state.
+//
+// Policies whose served set is small regardless of occupancy — the strict
+// class-priority family, FCFS, THRESH, GREEDY and DEFER — additionally
+// implement sim.SparsePolicy: AllocateSparse reports the same decision as
+// Allocate as an explicit write-set, which is what lets the incremental
+// engine step in O(changed · log n). EQUI (whose equal split touches every
+// job) and SRPT-k (which must read settled remaining sizes) deliberately do
+// not implement the facet and run on the incremental engine's dense
+// fallback. The cross-engine equivalence suite in internal/sim holds every
+// policy's two faces together.
 package policy
 
 import (
@@ -33,6 +43,21 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+)
+
+// Compile-time checks: every member of the sparse family keeps both faces.
+// EQUI and SRPT-k intentionally have no sparse face (see the package
+// comment); the incremental engine runs them on its dense fallback.
+var (
+	_ sim.SparsePolicy = InelasticFirst{}
+	_ sim.SparsePolicy = ElasticFirst{}
+	_ sim.SparsePolicy = ClassPriority{}
+	_ sim.SparsePolicy = (*LeastFlexibleFirst)(nil)
+	_ sim.SparsePolicy = (*SmallestMeanFirst)(nil)
+	_ sim.SparsePolicy = (*FCFS)(nil)
+	_ sim.SparsePolicy = Greedy{}
+	_ sim.SparsePolicy = Threshold{}
+	_ sim.SparsePolicy = DeferElastic{}
 )
 
 // priorityAllocate walks classes in the given order (nil means ascending
@@ -80,6 +105,43 @@ func priorityAllocate(st *sim.State, alloc *sim.Allocation, order []int) {
 	}
 }
 
+// priorityAllocateSparse is priorityAllocate's write-set face: identical
+// walk, identical shares, reported through ws.Add instead of the dense
+// buffer. The duplicate-order guard uses ws.Served in place of reading the
+// (absent) zeroed allocation matrix.
+func priorityAllocateSparse(st *sim.State, ws *sim.ShareSet, order []int) {
+	remaining := float64(st.K)
+	n := len(st.Queues)
+	if order != nil {
+		n = len(order)
+	}
+	for i := 0; i < n; i++ {
+		c := i
+		if order != nil {
+			c = order[i]
+			if c < 0 || c >= len(st.Queues) {
+				continue
+			}
+			if ws.Served(c) {
+				continue
+			}
+		}
+		ws.MarkServed(c)
+		capC := st.Classes[c].Cap()
+		for _, j := range st.Queues[c] {
+			if remaining <= 0 {
+				return
+			}
+			a := capC
+			if remaining < a {
+				a = remaining
+			}
+			ws.Add(j, a)
+			remaining -= a
+		}
+	}
+}
+
 // ClassPriority serves classes in a fixed strict preemptive priority order,
 // FCFS within a class: walking classes in Order, each job takes up to its
 // class's saturation cap until the servers run out. On the two-class preset,
@@ -102,6 +164,11 @@ func (p ClassPriority) Allocate(st *sim.State, alloc *sim.Allocation) {
 	priorityAllocate(st, alloc, p.Order)
 }
 
+// AllocateSparse implements sim.SparsePolicy.
+func (p ClassPriority) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	priorityAllocateSparse(st, ws, p.Order)
+}
+
 // InelasticFirst is the IF policy: strict class priority by ascending class
 // index. On the two-class preset, in state (i, j) with i < k each inelastic
 // job receives one server and the earliest-arriving elastic job receives the
@@ -114,6 +181,11 @@ func (InelasticFirst) Name() string { return "IF" }
 // Allocate implements sim.Policy.
 func (InelasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
 	priorityAllocate(st, alloc, nil)
+}
+
+// AllocateSparse implements sim.SparsePolicy.
+func (InelasticFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	priorityAllocateSparse(st, ws, nil)
 }
 
 // ElasticFirst is the EF policy: strict class priority by descending class
@@ -139,6 +211,25 @@ func (ElasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
 				a = remaining
 			}
 			alloc.Classes[c][n] = a
+			remaining -= a
+		}
+	}
+}
+
+// AllocateSparse implements sim.SparsePolicy.
+func (ElasticFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	remaining := float64(st.K)
+	for c := len(st.Queues) - 1; c >= 0; c-- {
+		capC := st.Classes[c].Cap()
+		for _, j := range st.Queues[c] {
+			if remaining <= 0 {
+				return
+			}
+			a := capC
+			if remaining < a {
+				a = remaining
+			}
+			ws.Add(j, a)
 			remaining -= a
 		}
 	}
@@ -193,6 +284,12 @@ func (p *LeastFlexibleFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
 	priorityAllocate(st, alloc, order)
 }
 
+// AllocateSparse implements sim.SparsePolicy.
+func (p *LeastFlexibleFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return a.Cap() < b.Cap() })
+	priorityAllocateSparse(st, ws, order)
+}
+
 // SmallestMeanFirst prioritizes classes by ascending mean job size — the
 // natural generalization of "give priority to the smaller class" suggested
 // by Theorems 1 and 5. Classes should carry a Size distribution (the sweep
@@ -219,6 +316,12 @@ func (p *SmallestMeanFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
 	priorityAllocate(st, alloc, order)
 }
 
+// AllocateSparse implements sim.SparsePolicy.
+func (p *SmallestMeanFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return meanSize(a) < meanSize(b) })
+	priorityAllocateSparse(st, ws, order)
+}
+
 // FCFS serves jobs of every class in one global first-come-first-serve
 // order: walking jobs by arrival time (ties to the lower class index), each
 // job claims up to its class cap; a fully elastic job therefore claims
@@ -232,9 +335,8 @@ type FCFS struct {
 // Name implements sim.Policy.
 func (*FCFS) Name() string { return "FCFS" }
 
-// Allocate implements sim.Policy.
-func (p *FCFS) Allocate(st *sim.State, alloc *sim.Allocation) {
-	nc := len(st.Queues)
+// reset prepares the per-class cursors for one walk.
+func (p *FCFS) reset(nc int) {
 	if cap(p.cur) < nc {
 		p.cur = make([]int, nc)
 	}
@@ -242,24 +344,56 @@ func (p *FCFS) Allocate(st *sim.State, alloc *sim.Allocation) {
 	for c := range p.cur {
 		p.cur[c] = 0
 	}
+}
+
+// next returns the class whose cursor heads the global FCFS order (earliest
+// arrival, ties to the lower class index), or -1 when all queues are
+// exhausted. Both allocation faces share it so the tie-break can never
+// diverge between engines; only the write sinks differ.
+func (p *FCFS) next(st *sim.State) int {
+	best := -1
+	var bestArr float64
+	for c := 0; c < len(st.Queues); c++ {
+		if p.cur[c] >= len(st.Queues[c]) {
+			continue
+		}
+		arr := st.Queues[c][p.cur[c]].Arrival
+		if best == -1 || arr < bestArr {
+			best, bestArr = c, arr
+		}
+	}
+	return best
+}
+
+// Allocate implements sim.Policy.
+func (p *FCFS) Allocate(st *sim.State, alloc *sim.Allocation) {
+	p.reset(len(st.Queues))
 	remaining := float64(st.K)
 	for remaining > 0 {
-		best := -1
-		var bestArr float64
-		for c := 0; c < nc; c++ {
-			if p.cur[c] >= len(st.Queues[c]) {
-				continue
-			}
-			arr := st.Queues[c][p.cur[c]].Arrival
-			if best == -1 || arr < bestArr {
-				best, bestArr = c, arr
-			}
-		}
+		best := p.next(st)
 		if best == -1 {
 			return
 		}
 		a := math.Min(st.Classes[best].Cap(), remaining)
 		alloc.Classes[best][p.cur[best]] = a
+		remaining -= a
+		p.cur[best]++
+	}
+}
+
+// AllocateSparse implements sim.SparsePolicy: the same global-FCFS walk
+// reported as a write-set. Every served job takes at least min(1, rest) of
+// a server (caps are >= 1), so the set has at most k+1 entries.
+func (p *FCFS) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	p.reset(len(st.Queues))
+	remaining := float64(st.K)
+	for remaining > 0 {
+		best := p.next(st)
+		if best == -1 {
+			return
+		}
+		a := math.Min(st.Classes[best].Cap(), remaining)
+		ws.Add(st.Queues[best][p.cur[best]], a)
 		remaining -= a
 		p.cur[best]++
 	}
@@ -382,6 +516,15 @@ func (g Greedy) Allocate(st *sim.State, alloc *sim.Allocation) {
 	ElasticFirst{}.Allocate(st, alloc)
 }
 
+// AllocateSparse implements sim.SparsePolicy.
+func (g Greedy) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	if g.MuI >= g.MuE {
+		InelasticFirst{}.AllocateSparse(st, ws)
+		return
+	}
+	ElasticFirst{}.AllocateSparse(st, ws)
+}
+
 // Threshold interpolates between EF and IF on the two-class preset: when
 // elastic jobs are present, inelastic jobs receive at most Cap servers
 // (FCFS) and the elastic head job receives the rest; with no elastic jobs,
@@ -417,6 +560,31 @@ func (t Threshold) Allocate(st *sim.State, alloc *sim.Allocation) {
 	}
 	if remaining > 0 && len(elastic) > 0 {
 		alloc.Classes[sim.Elastic][0] = remaining
+	}
+}
+
+// AllocateSparse implements sim.SparsePolicy.
+func (t Threshold) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	if len(st.Queues) < 2 {
+		priorityAllocateSparse(st, ws, nil)
+		return
+	}
+	inelastic, elastic := st.Queues[sim.Inelastic], st.Queues[sim.Elastic]
+	remaining := float64(st.K)
+	capLeft := float64(t.Cap)
+	if len(elastic) == 0 {
+		capLeft = remaining
+	}
+	for _, j := range inelastic {
+		if remaining <= 0 || capLeft <= 0 {
+			break
+		}
+		ws.Add(j, 1)
+		remaining--
+		capLeft--
+	}
+	if remaining > 0 && len(elastic) > 0 {
+		ws.Add(elastic[0], remaining)
 	}
 }
 
@@ -457,6 +625,37 @@ func (DeferElastic) Allocate(st *sim.State, alloc *sim.Allocation) {
 			continue
 		}
 		alloc.Classes[c][0] = float64(st.K)
+		return
+	}
+}
+
+// AllocateSparse implements sim.SparsePolicy.
+func (DeferElastic) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
+	remaining := float64(st.K)
+	capped := false
+	for c, q := range st.Queues {
+		capC := st.Classes[c].Cap()
+		if math.IsInf(capC, 1) {
+			continue
+		}
+		for _, j := range q {
+			capped = true
+			if remaining <= 0 {
+				break
+			}
+			a := math.Min(capC, remaining)
+			ws.Add(j, a)
+			remaining -= a
+		}
+	}
+	if capped {
+		return
+	}
+	for c, q := range st.Queues {
+		if !math.IsInf(st.Classes[c].Cap(), 1) || len(q) == 0 {
+			continue
+		}
+		ws.Add(q[0], float64(st.K))
 		return
 	}
 }

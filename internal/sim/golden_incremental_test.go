@@ -1,0 +1,113 @@
+package sim_test
+
+// The incremental engine's own frozen golden set. The rebuild goldens
+// (golden_test.go) pin the historical engine bit for bit; the incremental
+// engine is deterministic but rounds differently (it does not re-derive
+// completion times at every event — that per-event re-derivation IS the
+// O(n) cost it removes), so it gets separate files. Regenerate with
+//
+//	go test ./internal/sim -run TestGoldenIncremental -update
+//
+// only for an intentional semantic change to the incremental engine, and
+// say so loudly in the PR. Agreement BETWEEN the engines is pinned
+// separately, to 1e-9, by engine_equiv_test.go.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestGoldenIncrementalTraces replays the same frozen 3000-arrival trace as
+// the rebuild goldens under the incremental engine and demands bit-identical
+// completion sequences and aggregate statistics across runs.
+func TestGoldenIncrementalTraces(t *testing.T) {
+	for _, polName := range goldenPolicies {
+		t.Run(polName, func(t *testing.T) {
+			got := computeGoldenTraceEngine(t, polName, sim.EngineIncremental)
+			name := "golden_inc_trace_" + sanitize(polName) + ".json"
+			if *update {
+				writeGolden(t, name, got)
+				return
+			}
+			var want goldenTrace
+			readGolden(t, name, &want)
+			if got.Count != want.Count {
+				t.Fatalf("completions: got %d, want %d", got.Count, want.Count)
+			}
+			for _, pair := range [][3]string{
+				{"MeanT", got.MeanT, want.MeanT},
+				{"MeanTI", got.MeanTI, want.MeanTI},
+				{"MeanTE", got.MeanTE, want.MeanTE},
+				{"MeanN", got.MeanN, want.MeanN},
+				{"MeanW", got.MeanW, want.MeanW},
+				{"Utilization", got.Utilization, want.Utilization},
+			} {
+				if pair[1] != pair[2] {
+					t.Errorf("%s: got %s, want %s", pair[0], pair[1], pair[2])
+				}
+			}
+			if len(got.Completions) != len(want.Completions) {
+				t.Fatalf("trace prefix length: got %d, want %d", len(got.Completions), len(want.Completions))
+			}
+			for i := range want.Completions {
+				if got.Completions[i] != want.Completions[i] {
+					t.Fatalf("completion %d: got %+v, want %+v", i, got.Completions[i], want.Completions[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenIncrementalRunPipeline freezes the warmup/measurement driver
+// output under the incremental engine (the path exp uses when
+// Sweep.Engine = "incremental").
+func TestGoldenIncrementalRunPipeline(t *testing.T) {
+	type cell struct {
+		Policy      string `json:"policy"`
+		MuI         string `json:"muI"`
+		MeanT       string `json:"meanT"`
+		MeanTI      string `json:"meanTI"`
+		MeanTE      string `json:"meanTE"`
+		MeanN       string `json:"meanN"`
+		Completions int64  `json:"completions"`
+	}
+	var got []cell
+	for _, muI := range []float64{0.5, 2.0} {
+		for _, polName := range []string{"IF", "EF"} {
+			model := workload.ModelForLoad(4, 0.7, muI, 1.0)
+			pol, err := core.System{K: 4, LambdaI: model.LambdaI, LambdaE: model.LambdaE,
+				MuI: model.MuI, MuE: model.MuE}.PolicyByName(polName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := sim.Run(sim.RunConfig{
+				K: 4, Policy: pol, Source: model.Source(7),
+				WarmupJobs: 1000, MaxJobs: 10_000,
+				Engine: sim.EngineIncremental,
+			})
+			got = append(got, cell{
+				Policy: polName, MuI: hex(muI),
+				MeanT: hex(res.MeanT), MeanTI: hex(res.MeanTI), MeanTE: hex(res.MeanTE),
+				MeanN: hex(res.MeanN), Completions: res.Completions,
+			})
+		}
+	}
+	const name = "golden_inc_run_cells.json"
+	if *update {
+		writeGolden(t, name, got)
+		return
+	}
+	var want []cell
+	readGolden(t, name, &want)
+	if len(got) != len(want) {
+		t.Fatalf("cells: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

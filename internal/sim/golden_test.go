@@ -58,6 +58,10 @@ type goldenTrace struct {
 const goldenTracePrefix = 256
 
 func computeGoldenTrace(t *testing.T, polName string) goldenTrace {
+	return computeGoldenTraceEngine(t, polName, sim.EngineRebuild)
+}
+
+func computeGoldenTraceEngine(t *testing.T, polName string, engine sim.Engine) goldenTrace {
 	t.Helper()
 	model := workload.ModelForLoad(4, 0.8, 1.5, 1.0)
 	pol, err := core.System{K: 4, LambdaI: model.LambdaI, LambdaE: model.LambdaE,
@@ -66,7 +70,7 @@ func computeGoldenTrace(t *testing.T, polName string) goldenTrace {
 		t.Fatal(err)
 	}
 	trace := model.Trace(11, 3000)
-	sys := sim.NewSystem(4, pol)
+	sys := sim.NewClassSystemOpts(4, sim.TwoClassSpecs(), pol, sim.Options{Engine: engine})
 	g := goldenTrace{Policy: polName}
 	record := func(done []sim.Completion) {
 		for _, c := range done {

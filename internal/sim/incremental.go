@@ -1,0 +1,391 @@
+package sim
+
+// The incremental stepping engine (Options.Engine = EngineIncremental):
+// per-event cost O(changed jobs · log n) instead of the rebuild engine's
+// O(n), built from three pieces.
+//
+//  1. Lazy work depletion. Each job carries its current rate and the time
+//     its Remaining was last settled (Job.updated); the rebuild engine's
+//     full advanceWork scan disappears. Remaining is settled only when the
+//     job's rate changes, when it completes, or when a dense (non-sparse)
+//     policy is about to run and may read it.
+//  2. An incremental future-event list. Completion events stay in the
+//     internal/eventq heap across steps, stamped with the job's generation
+//     (Job.gen). A rate change bumps the generation and pushes one fresh
+//     event; entries whose stamp no longer matches are discarded when they
+//     surface, and Compact reclaims them in bulk if they ever outnumber
+//     live jobs 4:1.
+//  3. Policy change-sets. Policies implementing SparsePolicy report the
+//     full set of jobs holding a nonzero share as an explicit write-set
+//     (ShareSet). For the strict-priority family that set has at most
+//     ~k + #classes entries regardless of occupancy, so diffing it against
+//     the previous event's active set touches O(changed) jobs. Policies
+//     without the facet fall back to a dense path — settle every job, run
+//     Allocate on zeroed buffers, diff every entry — which is O(n) per
+//     event but produces identical decisions, so every policy is correct
+//     under either engine and the fast path is an optimization only.
+//
+// Per-class aggregates (incRate, incWork, incTotal) replace the metrics
+// integrator's per-job scans; they are renormalized to exact zero whenever
+// the system empties so floating-point dust cannot accumulate across busy
+// periods.
+//
+// Determinism: the engine is exactly reproducible (its golden set pins it
+// bit for bit), but it is NOT bit-identical to the rebuild engine. The
+// rebuild engine re-derives every completion time from freshly depleted
+// remaining work at every event; reproducing those roundings requires the
+// very O(n) scan this engine removes. The two engines agree to ~1e-12
+// relative — the cross-engine equivalence suite pins identical completion
+// ID sequences and statistics to 1e-9.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventq"
+)
+
+// ShareWrite is one entry of a sparse allocation: a job and its server
+// share.
+type ShareWrite struct {
+	Job   *Job
+	Share float64
+}
+
+// ShareSet receives a policy's sparse allocation: one Add per job that
+// should hold a nonzero share this event. Jobs not added drop to zero.
+// The backing storage is owned by the engine and reused across events.
+type ShareSet struct {
+	writes []ShareWrite
+	served []bool
+}
+
+// Add records that j should receive share servers. A job must be added at
+// most once per event; the engine panics on duplicates.
+func (ws *ShareSet) Add(j *Job, share float64) {
+	ws.writes = append(ws.writes, ShareWrite{Job: j, Share: share})
+}
+
+// Served reports whether MarkServed was called for class c this event —
+// the sparse counterpart of the dense allocator's duplicate-order guard.
+func (ws *ShareSet) Served(c int) bool { return ws.served[c] }
+
+// MarkServed flags class c as already walked this event.
+func (ws *ShareSet) MarkServed(c int) { ws.served[c] = true }
+
+// reset prepares the set for a new event.
+func (ws *ShareSet) reset(numClasses int) {
+	ws.writes = ws.writes[:0]
+	if cap(ws.served) < numClasses {
+		ws.served = make([]bool, numClasses)
+	}
+	ws.served = ws.served[:numClasses]
+	for i := range ws.served {
+		ws.served[i] = false
+	}
+}
+
+// SparsePolicy is an optional Policy extension consumed by the incremental
+// engine. AllocateSparse must report exactly the jobs that Allocate would
+// give a nonzero share, with the same shares — the cross-engine equivalence
+// suite holds the two faces of every policy together. Implementations must
+// be size-blind: Job.Remaining is NOT settled before AllocateSparse runs.
+// Policies whose decision depends on n jobs at once (EQUI's equal split,
+// SRPT's remaining-size order) should not implement the facet; they run on
+// the engine's dense fallback instead.
+type SparsePolicy interface {
+	Policy
+	AllocateSparse(st *State, ws *ShareSet)
+}
+
+// settleJob brings j.Remaining up to the current clock under its rate.
+func (s *System) settleJob(j *Job) {
+	if j.updated == s.clock {
+		return
+	}
+	if j.rate > 0 {
+		j.Remaining = math.Max(0, j.Remaining-j.rate*(s.clock-j.updated))
+	}
+	j.updated = s.clock
+}
+
+// settleAll settles every resident job — the dense-fallback prelude so a
+// size-aware policy (SRPT) reads exact remaining sizes.
+func (s *System) settleAll() {
+	for _, q := range s.queues {
+		for _, j := range q {
+			s.settleJob(j)
+		}
+	}
+}
+
+// setShare applies one allocation change: settle the job at the boundary,
+// update the class aggregates, bump the job's generation and push its fresh
+// completion event. A no-op when the share is unchanged, which is what
+// keeps the per-event work proportional to the change-set.
+func (s *System) setShare(j *Job, a float64, spec *ClassSpec) {
+	if a == j.servers {
+		return
+	}
+	s.settleJob(j)
+	rate := a
+	if spec.Speedup.kind != speedupLinear && spec.Speedup.kind != speedupCapped {
+		rate = spec.Speedup.Rate(a)
+	}
+	s.incTotal += a - j.servers
+	s.incRate[j.Class] += rate - j.rate
+	j.servers = a
+	j.rate = rate
+	j.gen++
+	switch {
+	case j.Remaining <= 0:
+		// Fully depleted but not yet removed (an allocation change landed
+		// exactly on the finish time): completes immediately, like the
+		// rebuild engine's zero-remaining Append.
+		s.evq.PushGen(s.clock, j, j.gen)
+	case rate > 0:
+		s.evq.PushGen(s.clock+j.Remaining/rate, j, j.gen)
+	}
+}
+
+// refreshAllocationInc re-runs the policy if the job set changed, through
+// the sparse write-set protocol when the policy supports it and the dense
+// diff fallback otherwise.
+func (s *System) refreshAllocationInc() {
+	if !s.allocDirty {
+		return
+	}
+	s.allocDirty = false
+	s.st.Time = s.clock
+	s.st.Queues = s.queues
+	if s.sparse != nil {
+		s.incWrites.reset(len(s.classes))
+		s.sparse.AllocateSparse(&s.st, &s.incWrites)
+		s.applySparse()
+	} else {
+		s.settleAll()
+		for c, q := range s.queues {
+			s.alloc.Classes[c] = resizeZero(s.alloc.Classes[c], len(q))
+		}
+		s.policy.Allocate(&s.st, &s.alloc)
+		s.applyDense()
+	}
+	if s.incTotal > float64(s.k)+1e-6 {
+		panic(fmt.Sprintf("sim: policy %s allocated %v servers on a %d-server system", s.policy.Name(), s.incTotal, s.k))
+	}
+	s.metrics.busyRate = math.Min(s.incTotal, float64(s.k))
+	// Safety valve: if stale entries outnumber live jobs 4:1, reclaim them
+	// in one pass. The closure captures nothing, so this stays
+	// allocation-free; dequeue order of live entries is unchanged.
+	if n := s.evq.Len(); n > 64 && n > 4*s.NumJobs() {
+		s.evq.Compact(func(e eventq.Event) bool { return e.Gen == e.Payload.(*Job).gen })
+	}
+}
+
+// applySparse diffs the policy's write-set against the previous active set.
+func (s *System) applySparse() {
+	const eps = 1e-9
+	s.incRound++
+	next := s.incActiveBuf[:0]
+	for i := range s.incWrites.writes {
+		w := &s.incWrites.writes[i]
+		j := w.Job
+		if j.round == s.incRound {
+			panic(fmt.Sprintf("sim: policy %s allocated job %d twice in one event", s.policy.Name(), j.ID))
+		}
+		j.round = s.incRound
+		spec := &s.classes[j.Class]
+		capC := spec.Cap()
+		a := w.Share
+		if a < -eps || a > capC+eps {
+			panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
+				s.policy.Name(), a, spec.Speedup, capC))
+		}
+		s.setShare(j, clamp(a, 0, capC), spec)
+		if j.servers > 0 {
+			next = append(next, j)
+		}
+	}
+	// Jobs that held servers last event but were not written this event
+	// drop to zero.
+	for _, j := range s.incActive {
+		if j.round != s.incRound {
+			s.setShare(j, 0, &s.classes[j.Class])
+		}
+	}
+	s.incActive, s.incActiveBuf = next, s.incActive[:0]
+}
+
+// applyDense diffs a fully materialized Allocation (the rebuild-style
+// buffer) against every job's previous share — O(n), the correctness
+// fallback for policies without a SparsePolicy facet.
+func (s *System) applyDense() {
+	const eps = 1e-9
+	for c, q := range s.queues {
+		spec := &s.classes[c]
+		capC := spec.Cap()
+		for i, j := range q {
+			a := s.alloc.Classes[c][i]
+			if a < -eps || a > capC+eps {
+				panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
+					s.policy.Name(), a, spec.Speedup, capC))
+			}
+			s.setShare(j, clamp(a, 0, capC), spec)
+		}
+	}
+}
+
+// peekLive returns the next live completion event without removing it,
+// discarding stale generations on the way, or (nil, +Inf) when nothing is
+// running.
+func (s *System) peekLive() (*Job, float64) {
+	for !s.evq.Empty() {
+		e := s.evq.Peek()
+		j := e.Payload.(*Job)
+		if e.Gen != j.gen {
+			s.evq.Pop()
+			continue
+		}
+		return j, e.Time
+	}
+	return nil, math.Inf(1)
+}
+
+// advanceTimeInc integrates metrics and the per-class aggregates up to t
+// with no completion in between — O(#classes), no per-job work.
+func (s *System) advanceTimeInc(t float64) {
+	dt := t - s.clock
+	if dt <= 0 {
+		return
+	}
+	s.metrics.integrateInc(s, dt)
+	for c := range s.incWork {
+		w := s.incWork[c] - s.incRate[c]*dt
+		if w < 0 {
+			w = 0
+		}
+		s.incWork[c] = w
+	}
+	s.clock = t
+}
+
+// completeInc finishes j at the current clock: settle, remove, record,
+// recycle. The job's popped heap entry is already gone; the generation bump
+// kills any other entries it may still have.
+func (s *System) completeInc(j *Job) {
+	s.settleJob(j)
+	// The event time was computed from the job's anchor, so the settled
+	// residual is floating-point dust; fold it out of the class aggregate
+	// so aggregates keep tracking the live set exactly.
+	if w := s.incWork[j.Class] - j.Remaining; w > 0 {
+		s.incWork[j.Class] = w
+	} else {
+		s.incWork[j.Class] = 0
+	}
+	j.Remaining = 0
+	s.incTotal -= j.servers
+	s.incRate[j.Class] -= j.rate
+	s.metrics.busyRate = math.Min(math.Max(s.incTotal, 0), float64(s.k))
+	j.servers, j.rate = 0, 0
+	j.gen++
+	q := s.queues[j.Class]
+	if len(q) > 0 && q[0] == j {
+		// FCFS-within-class completions leave from the head: O(1) by
+		// advancing the slice window (append reuses the tail capacity, so
+		// reallocation is amortized O(1/n) per event).
+		q[0] = nil
+		s.queues[j.Class] = q[1:]
+	} else {
+		var removed bool
+		s.queues[j.Class], removed = removeJob(q, j)
+		if !removed {
+			panic("sim: completing job not found in system")
+		}
+	}
+	if s.sparse != nil {
+		for i, a := range s.incActive {
+			if a == j {
+				last := len(s.incActive) - 1
+				s.incActive[i] = s.incActive[last]
+				s.incActive[last] = nil
+				s.incActive = s.incActive[:last]
+				break
+			}
+		}
+	}
+	s.completionsBuf = append(s.completionsBuf, Completion{Job: *j, Finished: s.clock})
+	s.metrics.recordCompletion(j, s.clock)
+	s.free = append(s.free, j)
+	s.allocDirty = true
+	if s.NumJobs() == 0 {
+		// Renormalize at regeneration points so floating-point dust never
+		// outlives a busy period.
+		s.incTotal = 0
+		s.metrics.busyRate = 0
+		for c := range s.incRate {
+			s.incRate[c], s.incWork[c] = 0, 0
+		}
+	}
+}
+
+// advanceToInc is AdvanceTo under the incremental engine: identical event
+// semantics (completions in (clock, t], including ones landing exactly on
+// the clock or on t), different bookkeeping.
+func (s *System) advanceToInc(t float64) []Completion {
+	s.completionsBuf = s.completionsBuf[:0]
+	for {
+		s.refreshAllocationInc()
+		j, tc := s.peekLive()
+		if j != nil && tc <= t {
+			s.evq.Pop()
+			s.advanceTimeInc(tc)
+			s.completeInc(j)
+			continue
+		}
+		if s.clock < t {
+			s.advanceTimeInc(t)
+		}
+		break
+	}
+	// Clamp accumulated floating error so coupled runs stay aligned.
+	s.clock = t
+	return s.completionsBuf
+}
+
+// advanceClockOnlyInc mirrors advanceClockOnly: integrate up to t assuming
+// no completion strictly before t; completions exactly at t wait for the
+// next AdvanceTo, after the arrival at t has joined the queue.
+func (s *System) advanceClockOnlyInc(t float64) {
+	for s.clock < t {
+		s.refreshAllocationInc()
+		j, tc := s.peekLive()
+		if j == nil || tc >= t {
+			s.advanceTimeInc(t)
+			break
+		}
+		s.evq.Pop()
+		s.advanceTimeInc(tc)
+		s.completeInc(j)
+	}
+	s.clock = t
+}
+
+// drainInc mirrors Drain under the incremental engine.
+func (s *System) drainInc(horizon float64) []Completion {
+	var all []Completion
+	for s.NumJobs() > 0 && s.clock < horizon {
+		s.refreshAllocationInc()
+		j, tc := s.peekLive()
+		if j == nil || tc > horizon {
+			s.advanceTimeInc(horizon)
+			s.clock = horizon
+			break
+		}
+		s.evq.Pop()
+		s.advanceTimeInc(tc)
+		s.completionsBuf = s.completionsBuf[:0]
+		s.completeInc(j)
+		all = append(all, s.completionsBuf...)
+	}
+	return all
+}

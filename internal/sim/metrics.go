@@ -116,6 +116,22 @@ func (m *Metrics) integrate(s *System, dt float64) {
 	}
 }
 
+// integrateInc is integrate for the incremental engine: identical segment
+// integrals computed from the maintained per-class aggregates (incWork,
+// incRate) instead of per-job scans, so one event costs O(#classes).
+func (m *Metrics) integrateInc(s *System, dt float64) {
+	for c := range s.queues {
+		m.areaN[c] += float64(len(s.queues[c])) * dt
+		m.areaW[c] += (s.incWork[c] - 0.5*s.incRate[c]*dt) * dt
+	}
+	m.areaBusy += m.busyRate * dt
+	m.elapsed += dt
+	if m.TrackOccupancy {
+		key := [2]int{min(s.NumClass(0), occupancyCap), min(s.NumClass(1), occupancyCap)}
+		m.occupancy[key] += dt
+	}
+}
+
 func (m *Metrics) recordCompletion(j *Job, now float64) {
 	resp := now - j.Arrival
 	c := j.Class

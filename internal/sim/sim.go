@@ -21,6 +21,15 @@
 // events, and departures are selected through the internal/eventq future
 // event list (ties resolve in class-then-FCFS order, matching the scan order
 // of the historical two-class engine bit for bit).
+//
+// Two stepping engines are available (Options.Engine). The default rebuild
+// engine depletes every job and rebuilds the future-event list at every
+// event — O(n) per event in the occupancy n, bit-frozen by the golden set.
+// The opt-in incremental engine (incremental.go) keeps completion events
+// across steps, settles per-job remaining work lazily, and re-touches only
+// jobs whose allocation actually changed — O(changed · log n) per event for
+// the strict-priority policy family, which is what makes near-saturation
+// (rho → 1) sweeps with thousands of resident jobs tractable.
 package sim
 
 import (
@@ -80,6 +89,9 @@ type Arrival struct {
 // Job is a job resident in the system. Policies receive jobs in FCFS order
 // per class; the paper's policies are size-blind and must not read Remaining
 // (it is exposed for instrumentation and for known-size baselines only).
+// Under the incremental engine Remaining is settled lazily: it is exact in
+// Completion snapshots and whenever the policy's Allocate (not
+// AllocateSparse) runs, but may be stale between events for other readers.
 // The pointer returned by Arrive is valid until the job completes; completed
 // Job structs are recycled by the engine.
 type Job struct {
@@ -90,6 +102,16 @@ type Job struct {
 	Remaining float64
 	rate      float64 // current service rate s(servers)
 	servers   float64 // current server allocation
+
+	// Incremental-engine state (unused by the rebuild engine): updated is
+	// the time Remaining was last settled; gen stamps the job's live
+	// future-event entry (older heap entries are stale); round marks the
+	// last sparse-allocation round that wrote this job. gen survives
+	// recycling through the free list so entries from a previous life can
+	// never be mistaken for live ones.
+	updated float64
+	gen     uint64
+	round   uint64
 }
 
 // Rate returns the job's current service rate s(a).
@@ -133,11 +155,55 @@ type Completion struct {
 // Response returns the job's response time.
 func (c Completion) Response() float64 { return c.Finished - c.Job.Arrival }
 
+// Engine selects the stepping implementation of a System.
+type Engine uint8
+
+const (
+	// EngineRebuild is the default engine: every event depletes all jobs
+	// and rebuilds the future-event list. It is bit-frozen by the golden
+	// set and remains the reference implementation.
+	EngineRebuild Engine = iota
+	// EngineIncremental keeps completion events across steps, settles
+	// remaining work lazily and re-touches only jobs whose allocation
+	// changed — O(changed · log n) per event for SparsePolicy policies.
+	// It is deterministic with its own golden set; completion times agree
+	// with the rebuild engine to floating-point reassociation (~1e-12
+	// relative), not bit for bit.
+	EngineIncremental
+)
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	if e == EngineIncremental {
+		return "incremental"
+	}
+	return "rebuild"
+}
+
+// ParseEngine resolves a flag/config spelling; the empty string means the
+// default rebuild engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "rebuild":
+		return EngineRebuild, nil
+	case "incremental":
+		return EngineIncremental, nil
+	}
+	return EngineRebuild, fmt.Errorf("sim: unknown engine %q (want rebuild or incremental)", s)
+}
+
+// Options configure a System beyond the model parameters.
+type Options struct {
+	// Engine selects the stepping engine; the zero value is EngineRebuild.
+	Engine Engine
+}
+
 // System is one simulated cluster under one policy.
 type System struct {
 	k       int
 	classes []ClassSpec
 	policy  Policy
+	engine  Engine
 	clock   float64
 	nextID  int
 
@@ -146,9 +212,11 @@ type System struct {
 	st    State
 	alloc Allocation
 
-	// evq is the future-event list used to select the next departure; it is
-	// rebuilt from the live job set whenever rates or remaining sizes
-	// change (its backing array is reused, so rebuilding is allocation-free).
+	// evq is the future-event list used to select the next departure. The
+	// rebuild engine refills it from the live job set at every event (its
+	// backing array is reused, so rebuilding is allocation-free); the
+	// incremental engine keeps entries across steps and discards stale
+	// generations lazily.
 	evq eventq.Queue
 
 	metrics Metrics
@@ -159,11 +227,30 @@ type System struct {
 	free           []*Job
 
 	allocDirty bool
+
+	// Incremental-engine state (see incremental.go). sparse is the policy's
+	// SparsePolicy facet when it has one; incRate/incWork are per-class
+	// service-rate and remaining-work aggregates settled to clock; incTotal
+	// is the allocated server total; incActive holds the jobs with nonzero
+	// allocation (sparse path only) and incActiveBuf is its double buffer.
+	sparse       SparsePolicy
+	incRate      []float64
+	incWork      []float64
+	incTotal     float64
+	incActive    []*Job
+	incActiveBuf []*Job
+	incWrites    ShareSet
+	incRound     uint64
 }
 
 // NewClassSystem returns an empty system with k servers over the given job
-// classes, governed by policy.
+// classes, governed by policy, using the default rebuild engine.
 func NewClassSystem(k int, classes []ClassSpec, policy Policy) *System {
+	return NewClassSystemOpts(k, classes, policy, Options{})
+}
+
+// NewClassSystemOpts is NewClassSystem with engine-level Options.
+func NewClassSystemOpts(k int, classes []ClassSpec, policy Policy, opts Options) *System {
 	if k < 1 {
 		panic("sim: k must be >= 1")
 	}
@@ -177,6 +264,7 @@ func NewClassSystem(k int, classes []ClassSpec, policy Policy) *System {
 		k:       k,
 		classes: append([]ClassSpec(nil), classes...),
 		policy:  policy,
+		engine:  opts.Engine,
 		queues:  make([][]*Job, len(classes)),
 	}
 	s.alloc.Classes = make([][]float64, len(classes))
@@ -184,8 +272,16 @@ func NewClassSystem(k int, classes []ClassSpec, policy Policy) *System {
 	s.st.Classes = s.classes
 	s.metrics.init(len(classes))
 	s.metrics.Reset(0)
+	if s.engine == EngineIncremental {
+		s.sparse, _ = policy.(SparsePolicy)
+		s.incRate = make([]float64, len(classes))
+		s.incWork = make([]float64, len(classes))
+	}
 	return s
 }
+
+// Engine returns the system's stepping engine.
+func (s *System) Engine() Engine { return s.engine }
 
 // K returns the number of servers.
 func (s *System) K() int { return s.k }
@@ -230,10 +326,15 @@ func (s *System) Work() float64 {
 }
 
 // WorkClass returns the remaining class-c work W_c(t) (0 for a class the
-// system does not have).
+// system does not have). Under the incremental engine the value comes from
+// the maintained per-class aggregate rather than a per-job scan, so it is
+// O(1) and exact to floating-point reassociation.
 func (s *System) WorkClass(c Class) float64 {
 	if c < 0 || int(c) >= len(s.queues) {
 		return 0
+	}
+	if s.engine == EngineIncremental {
+		return s.incWork[c]
 	}
 	w := 0.0
 	for _, j := range s.queues[c] {
@@ -256,7 +357,11 @@ func (s *System) Arrive(a Arrival) *Job {
 		panic(fmt.Sprintf("sim: arrival at %v is before clock %v", a.Time, s.clock))
 	}
 	if a.Time > s.clock {
-		s.advanceClockOnly(a.Time)
+		if s.engine == EngineIncremental {
+			s.advanceClockOnlyInc(a.Time)
+		} else {
+			s.advanceClockOnly(a.Time)
+		}
 	}
 	if a.Size <= 0 {
 		panic("sim: job size must be positive")
@@ -268,7 +373,11 @@ func (s *System) Arrive(a Arrival) *Job {
 	if n := len(s.free); n > 0 {
 		j = s.free[n-1]
 		s.free = s.free[:n-1]
+		// gen must survive recycling: stale future-event entries from the
+		// struct's previous life carry older generations and stay dead.
+		gen := j.gen
 		*j = Job{}
+		j.gen = gen
 	} else {
 		j = &Job{}
 	}
@@ -277,9 +386,13 @@ func (s *System) Arrive(a Arrival) *Job {
 	j.Arrival = s.clock
 	j.Size = a.Size
 	j.Remaining = a.Size
+	j.updated = s.clock
 	s.nextID++
 	s.queues[a.Class] = append(s.queues[a.Class], j)
 	s.metrics.arrivals[a.Class]++
+	if s.engine == EngineIncremental {
+		s.incWork[a.Class] += a.Size
+	}
 	s.allocDirty = true
 	return j
 }
@@ -290,6 +403,9 @@ func (s *System) Arrive(a Arrival) *Job {
 func (s *System) AdvanceTo(t float64) []Completion {
 	if t < s.clock-1e-12 {
 		panic(fmt.Sprintf("sim: AdvanceTo(%v) before clock %v", t, s.clock))
+	}
+	if s.engine == EngineIncremental {
+		return s.advanceToInc(t)
 	}
 	s.completionsBuf = s.completionsBuf[:0]
 	for {
@@ -317,6 +433,9 @@ func (s *System) AdvanceTo(t float64) []Completion {
 // Drain runs the system until it empties or the clock passes horizon,
 // returning all completions.
 func (s *System) Drain(horizon float64) []Completion {
+	if s.engine == EngineIncremental {
+		return s.drainInc(horizon)
+	}
 	var all []Completion
 	for s.NumJobs() > 0 && s.clock < horizon {
 		s.refreshAllocation()

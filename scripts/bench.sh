@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Engine benchmark harness: runs the hot-path benchmarks (two-class and
-# multi-class stepping plus the end-to-end simulator throughput) and emits
-# BENCH_engine.json with ns/op, B/op, allocs/op and completions/sec for
-# each, so perf PRs can diff engine numbers mechanically.
+# multi-class stepping, the rebuild-vs-incremental occupancy scaling at
+# n in {10, 100, 1k, 10k}, and the end-to-end simulator throughput) and
+# APPENDS one dated entry to BENCH_engine.json via cmd/benchlog, so the
+# perf trajectory across PRs is preserved (a legacy single-snapshot file is
+# migrated into the history's first entry automatically).
 #
 # Usage: scripts/bench.sh [benchtime]   (default 2s)
 set -euo pipefail
@@ -19,26 +21,5 @@ go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
 go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' \
   -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
 
-awk -v out="$OUT" '
-  /^Benchmark/ {
-    name = $1; sub(/-[0-9]+$/, "", name)
-    nsop = ""; bop = ""; allocs = ""; cps = ""
-    for (i = 2; i < NF; i++) {
-      if ($(i+1) == "ns/op") nsop = $i
-      if ($(i+1) == "B/op") bop = $i
-      if ($(i+1) == "allocs/op") allocs = $i
-      if ($(i+1) == "completions/sec") cps = $i
-    }
-    rows[++n] = sprintf("  {\"benchmark\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"completions_per_sec\": %s}",
-      name, nsop == "" ? "null" : nsop, bop == "" ? "null" : bop,
-      allocs == "" ? "null" : allocs, cps == "" ? "null" : cps)
-  }
-  END {
-    print "[" > out
-    for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") >> out
-    print "]" >> out
-  }
-' "$RAW"
-
-echo "wrote $OUT"
-cat "$OUT"
+NOTE="$(git rev-parse --short HEAD 2>/dev/null || echo unversioned) benchtime=$BENCHTIME"
+go run ./cmd/benchlog -file "$OUT" -date "$(date -u +%Y-%m-%d)" -note "$NOTE" < "$RAW"

@@ -41,6 +41,10 @@ echo "==> cross-engine equivalence gate (two-class preset bit-identical to the f
 go test ./internal/sim -run 'TestGolden' -count=1
 go test ./internal/exp -run 'TestGoldenFigure' -count=1
 
+echo "==> stepping-engine equivalence gate (rebuild vs incremental: identical completion sequences, stats to 1e-9, incremental goldens bit-frozen)"
+go test ./internal/sim -run 'TestEngineEquivalenceMatrix|TestGoldenIncremental' -count=1
+go test ./internal/exp -run 'TestEngineSweepEquivalence|TestTailQuantiles' -count=1
+
 echo "==> allocation-regression gate (steady-state stepping <= 1 alloc/event)"
 go test ./internal/sim -run 'TestSteadyStateAllocs' -count=1
 
@@ -60,6 +64,18 @@ if ! cmp "$tmp/pool.json" "$tmp/proc.json"; then
   exit 1
 fi
 echo "    pool and proc ResultSets byte-identical ($(wc -c < "$tmp/pool.json") bytes)"
+
+echo "==> incremental-engine CLI smoke (simulate -engine incremental, -quantiles)"
+"$tmp/simulate" $sweep_flags -engine incremental -quantiles 0.5,0.95,0.999 >/dev/null
+# The incremental engine must also be bit-stable across backends: the same
+# incremental sweep through pool and proc workers must agree byte for byte.
+"$tmp/simulate" $sweep_flags -engine incremental -json "$tmp/pool_inc.json" >/dev/null
+"$tmp/simulate" $sweep_flags -engine incremental -backend proc -procs 2 -json "$tmp/proc_inc.json" >/dev/null
+if ! cmp "$tmp/pool_inc.json" "$tmp/proc_inc.json"; then
+  echo "FAIL: incremental-engine ResultSets differ between -backend pool and -backend proc" >&2
+  exit 1
+fi
+echo "    incremental pool and proc ResultSets byte-identical ($(wc -c < "$tmp/pool_inc.json") bytes)"
 
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
