@@ -14,6 +14,12 @@
 // objects, the single-snapshot layout written before this tool) is
 // migrated in place: the old snapshot becomes the history's first entry.
 // scripts/bench.sh is the intended caller.
+//
+// With -check, nothing is appended: the run on stdin is compared against
+// the newest entry already in the history, and the command fails when any
+// benchmark present in both slowed down by more than -threshold (default
+// 10%) in ns/op. Benchmarks new in this run pass trivially; benchmarks
+// that disappeared are ignored. scripts/ci.sh runs this as the BENCH_GATE.
 package main
 
 import (
@@ -80,7 +86,27 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 		}
 		out = append(out, b)
 	}
-	return out, sc.Err()
+	return dedupeFastest(out), sc.Err()
+}
+
+// dedupeFastest keeps the fastest (min ns/op) sample per benchmark name,
+// preserving first-seen order, so `-count=N` runs record and compare
+// best-of-N — the standard way to strip scheduler noise from a gate.
+func dedupeFastest(in []Benchmark) []Benchmark {
+	byName := make(map[string]int, len(in))
+	var out []Benchmark
+	for _, b := range in {
+		i, seen := byName[b.Name]
+		if !seen {
+			byName[b.Name] = len(out)
+			out = append(out, b)
+			continue
+		}
+		if b.NsPerOp != nil && (out[i].NsPerOp == nil || *b.NsPerOp < *out[i].NsPerOp) {
+			out[i] = b
+		}
+	}
+	return out
 }
 
 // load reads the existing history, migrating the legacy single-snapshot
@@ -116,16 +142,47 @@ func validRuns(runs []Run) bool {
 	return true
 }
 
+// check compares the current run against the newest recorded entry and
+// returns one line per regression beyond threshold (e.g. 0.10 for 10%).
+// Only ns/op is gated: B/op and allocs/op are pinned exactly by the test
+// suite, and completions/sec is derived from ns/op. Benchmarks missing
+// from either side are skipped — renames and additions must not brick CI.
+func check(last Run, cur []Benchmark, threshold float64) []string {
+	prev := make(map[string]float64, len(last.Benchmarks))
+	for _, b := range last.Benchmarks {
+		if b.NsPerOp != nil {
+			prev[b.Name] = *b.NsPerOp
+		}
+	}
+	var bad []string
+	for _, b := range cur {
+		if b.NsPerOp == nil {
+			continue
+		}
+		base, ok := prev[b.Name]
+		if !ok || base <= 0 {
+			continue
+		}
+		if ratio := *b.NsPerOp / base; ratio > 1+threshold {
+			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs %.1f recorded on %s (%+.1f%%, threshold %+.0f%%)",
+				b.Name, *b.NsPerOp, base, last.Date, (ratio-1)*100, threshold*100))
+		}
+	}
+	return bad
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchlog: ")
 	var (
-		file = flag.String("file", "BENCH_engine.json", "benchmark history file to append to")
-		date = flag.String("date", "", "date stamp for this run (required, e.g. 2026-07-27)")
-		note = flag.String("note", "", "free-form label for this run (e.g. git describe)")
+		file      = flag.String("file", "BENCH_engine.json", "benchmark history file to append to")
+		date      = flag.String("date", "", "date stamp for this run (required unless -check, e.g. 2026-07-27)")
+		note      = flag.String("note", "", "free-form label for this run (e.g. git describe)")
+		doCheck   = flag.Bool("check", false, "compare stdin against the newest recorded entry instead of appending")
+		threshold = flag.Float64("threshold", 0.10, "with -check: maximum tolerated ns/op slowdown (0.10 = 10%)")
 	)
 	flag.Parse()
-	if *date == "" {
+	if !*doCheck && *date == "" {
 		log.Fatal("-date is required")
 	}
 	benches, err := parseBench(os.Stdin)
@@ -138,6 +195,21 @@ func main() {
 	runs, err := load(*file)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *doCheck {
+		if len(runs) == 0 {
+			fmt.Printf("%s has no recorded runs; nothing to compare against\n", *file)
+			return
+		}
+		last := runs[len(runs)-1]
+		if bad := check(last, benches, *threshold); len(bad) > 0 {
+			for _, line := range bad {
+				log.Print(line)
+			}
+			log.Fatalf("%d benchmark(s) regressed beyond %.0f%% vs the %s entry in %s", len(bad), *threshold*100, last.Date, *file)
+		}
+		fmt.Printf("%d benchmark(s) within %.0f%% of the %s entry in %s\n", len(benches), *threshold*100, last.Date, *file)
+		return
 	}
 	runs = append(runs, Run{Date: *date, Note: *note, Benchmarks: benches})
 	out, err := json.MarshalIndent(runs, "", "  ")

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func f(v float64) *float64 { return &v }
+
+func TestCheck(t *testing.T) {
+	last := Run{Date: "2026-08-01", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: f(100)},
+		{Name: "BenchmarkB", NsPerOp: f(100)},
+		{Name: "BenchmarkGone", NsPerOp: f(100)},
+	}}
+	cur := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: f(109)},  // +9%: inside threshold
+		{Name: "BenchmarkB", NsPerOp: f(115)},  // +15%: regression
+		{Name: "BenchmarkNew", NsPerOp: f(99)}, // no baseline: trivially passes
+	}
+	bad := check(last, cur, 0.10)
+	if len(bad) != 1 {
+		t.Fatalf("want exactly the BenchmarkB regression, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "BenchmarkB") || !strings.Contains(bad[0], "2026-08-01") {
+		t.Fatalf("regression line missing name or baseline date: %q", bad[0])
+	}
+	if bad := check(last, cur, 0.20); len(bad) != 0 {
+		t.Fatalf("20%% threshold should pass, got %v", bad)
+	}
+}
+
+func TestCheckSpeedupAndMissingNs(t *testing.T) {
+	last := Run{Date: "d", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: f(100)},
+		{Name: "BenchmarkNoNs"},
+	}}
+	cur := []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: f(50)}, // faster: never a regression
+		{Name: "BenchmarkNoNs", NsPerOp: f(1e9)},
+	}
+	if bad := check(last, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("want no regressions, got %v", bad)
+	}
+}
+
+func TestParseBenchKeepsFastestSample(t *testing.T) {
+	in := strings.NewReader(`BenchmarkA-8   10   300.0 ns/op
+BenchmarkA-8   10   200.0 ns/op
+BenchmarkA-8   10   250.0 ns/op
+`)
+	benches, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 || *benches[0].NsPerOp != 200 {
+		t.Fatalf("want one best-of-3 sample at 200 ns/op, got %+v", benches)
+	}
+}
+
+func TestParseBenchReadsMemStats(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkEngineEventN10/incremental-8   	 1000000	       500.0 ns/op	       4 B/op	       0 allocs/op
+PASS
+`)
+	benches, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 {
+		t.Fatalf("got %d benchmarks", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkEngineEventN10/incremental" {
+		t.Fatalf("name %q", b.Name)
+	}
+	if b.NsPerOp == nil || *b.NsPerOp != 500 || b.BytesPerOp == nil || *b.BytesPerOp != 4 || b.AllocsOp == nil || *b.AllocsOp != 0 {
+		t.Fatalf("parsed %+v", b)
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestOrdering(t *testing.T) {
-	var q Queue
+	var q Queue[float64]
 	times := []float64{5, 1, 3, 2, 4}
 	for _, tm := range times {
 		q.Push(tm, tm)
@@ -25,20 +25,20 @@ func TestOrdering(t *testing.T) {
 }
 
 func TestFIFOTieBreaking(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	for i := 0; i < 100; i++ {
 		q.Push(1.0, i)
 	}
 	for i := 0; i < 100; i++ {
 		e := q.Pop()
-		if e.Payload.(int) != i {
+		if e.Payload != i {
 			t.Fatalf("tie broken out of insertion order: got %v at position %d", e.Payload, i)
 		}
 	}
 }
 
 func TestPeekDoesNotRemove(t *testing.T) {
-	var q Queue
+	var q Queue[string]
 	q.Push(2, "b")
 	q.Push(1, "a")
 	if q.Peek().Payload != "a" || q.Len() != 2 {
@@ -50,7 +50,7 @@ func TestPeekDoesNotRemove(t *testing.T) {
 }
 
 func TestEmptyPanics(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	for name, fn := range map[string]func(){
 		"Pop":  func() { q.Pop() },
 		"Peek": func() { q.Peek() },
@@ -67,9 +67,9 @@ func TestEmptyPanics(t *testing.T) {
 }
 
 func TestClear(t *testing.T) {
-	var q Queue
-	q.Push(1, nil)
-	q.Push(2, nil)
+	var q Queue[string]
+	q.Push(1, "")
+	q.Push(2, "")
 	q.Clear()
 	if !q.Empty() {
 		t.Fatal("Clear left events")
@@ -85,11 +85,11 @@ func TestClear(t *testing.T) {
 func TestHeapSortProperty(t *testing.T) {
 	r := xrand.New(99)
 	f := func(n uint8) bool {
-		var q Queue
+		var q Queue[int]
 		var want []float64
 		for i := 0; i < int(n); i++ {
 			v := r.Float64() * 100
-			q.Push(v, nil)
+			q.Push(v, i)
 			want = append(want, v)
 		}
 		sort.Float64s(want)
@@ -106,7 +106,7 @@ func TestHeapSortProperty(t *testing.T) {
 }
 
 func TestInterleavedPushPop(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	r := xrand.New(7)
 	clock := 0.0
 	// Simulate a workload: always push events in the future of the last
@@ -125,15 +125,15 @@ func TestInterleavedPushPop(t *testing.T) {
 }
 
 func BenchmarkPushPop(b *testing.B) {
-	var q Queue
+	var q Queue[int]
 	r := xrand.New(1)
 	for i := 0; i < 1024; i++ {
-		q.Push(r.Float64()*1e6, nil)
+		q.Push(r.Float64()*1e6, i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := q.Pop()
-		q.Push(e.Time+r.Float64()*100, nil)
+		q.Push(e.Time+r.Float64()*100, e.Payload)
 	}
 }
 
@@ -147,7 +147,7 @@ func TestAppendFixMatchesPush(t *testing.T) {
 		// Coarse values force plenty of exact ties.
 		times[i] = float64(r.Intn(20))
 	}
-	var pushed, appended Queue
+	var pushed, appended Queue[int]
 	for i, tm := range times {
 		pushed.Push(tm, i)
 		appended.Append(tm, i)
@@ -155,7 +155,7 @@ func TestAppendFixMatchesPush(t *testing.T) {
 	appended.Fix()
 	for pushed.Len() > 0 {
 		a, b := pushed.Pop(), appended.Pop()
-		if a.Time != b.Time || a.Payload.(int) != b.Payload.(int) {
+		if a.Time != b.Time || a.Payload != b.Payload {
 			t.Fatalf("Append+Fix order diverged: Push gave (%v, %v), Append gave (%v, %v)",
 				a.Time, a.Payload, b.Time, b.Payload)
 		}
@@ -168,7 +168,7 @@ func TestAppendFixMatchesPush(t *testing.T) {
 // TestAppendFixReusesCapacity: Clear + Append within capacity must not
 // allocate — the engine rebuilds its future-event list every event.
 func TestAppendFixReusesCapacity(t *testing.T) {
-	var q Queue
+	var q Queue[*int]
 	payloads := make([]*int, 64)
 	for i := range payloads {
 		payloads[i] = new(int)

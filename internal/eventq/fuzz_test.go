@@ -63,7 +63,7 @@ func FuzzTotalOrder(f *testing.F) {
 			t.Skip("tape too long")
 		}
 		r := xrand.New(seed)
-		var q Queue
+		var q Queue[int]
 		var ref refModel
 		unfixed := 0 // Appends since the last Fix; Pop/Peek are illegal until fixed
 		for _, op := range ops {
@@ -98,7 +98,7 @@ func FuzzTotalOrder(f *testing.F) {
 				}
 				got := q.Pop()
 				want := ref.pop()
-				if got.Time != want.time || got.Payload.(int) != want.seq || got.Gen != want.gen {
+				if got.Time != want.time || got.Payload != want.seq || got.Gen != want.gen {
 					t.Fatalf("pop mismatch: got (t=%v, seq=%v, gen=%d), want (t=%v, seq=%v, gen=%d)",
 						got.Time, got.Payload, got.Gen, want.time, want.seq, want.gen)
 				}
@@ -113,7 +113,7 @@ func FuzzTotalOrder(f *testing.F) {
 		}
 		for !q.Empty() {
 			got, want := q.Pop(), ref.pop()
-			if got.Time != want.time || got.Payload.(int) != want.seq || got.Gen != want.gen {
+			if got.Time != want.time || got.Payload != want.seq || got.Gen != want.gen {
 				t.Fatalf("drain mismatch: got (t=%v, seq=%v), want (t=%v, seq=%v)",
 					got.Time, got.Payload, want.time, want.seq)
 			}
@@ -126,7 +126,7 @@ func FuzzTotalOrder(f *testing.F) {
 func TestRemove(t *testing.T) {
 	r := xrand.New(3)
 	for trial := 0; trial < 200; trial++ {
-		var q Queue
+		var q Queue[int]
 		n := 1 + r.Intn(40)
 		times := make([]float64, n)
 		for i := range times {
@@ -134,10 +134,10 @@ func TestRemove(t *testing.T) {
 			q.Push(times[i], i)
 		}
 		victim := r.Intn(n)
-		if !q.Remove(func(e Event) bool { return e.Payload.(int) == victim }) {
+		if !q.Remove(func(e Event[int]) bool { return e.Payload == victim }) {
 			t.Fatalf("trial %d: Remove failed to find payload %d", trial, victim)
 		}
-		if q.Remove(func(e Event) bool { return e.Payload.(int) == victim }) {
+		if q.Remove(func(e Event[int]) bool { return e.Payload == victim }) {
 			t.Fatalf("trial %d: Remove found payload %d twice", trial, victim)
 		}
 		// Expected order: (time, insertion index) over the survivors.
@@ -159,7 +159,7 @@ func TestRemove(t *testing.T) {
 		})
 		for _, w := range want {
 			e := q.Pop()
-			if e.Time != w.time || e.Payload.(int) != w.idx {
+			if e.Time != w.time || e.Payload != w.idx {
 				t.Fatalf("trial %d: after Remove got (%v, %v), want (%v, %v)",
 					trial, e.Time, e.Payload, w.time, w.idx)
 			}
@@ -168,8 +168,8 @@ func TestRemove(t *testing.T) {
 			t.Fatalf("trial %d: events left after drain", trial)
 		}
 	}
-	var q Queue
-	if q.Remove(func(Event) bool { return true }) {
+	var q Queue[int]
+	if q.Remove(func(Event[int]) bool { return true }) {
 		t.Fatal("Remove on empty queue reported success")
 	}
 }
@@ -177,7 +177,7 @@ func TestRemove(t *testing.T) {
 // TestCompact drops stale generations and preserves the dequeue order of
 // the survivors, reusing the backing array.
 func TestCompact(t *testing.T) {
-	var q Queue
+	var q Queue[int]
 	r := xrand.New(9)
 	live := make(map[int]uint64)
 	for i := 0; i < 300; i++ {
@@ -185,7 +185,7 @@ func TestCompact(t *testing.T) {
 		q.PushGen(float64(r.Intn(10)), i, gen)
 		live[i] = gen
 	}
-	isLive := func(e Event) bool { return e.Gen == 2 }
+	isLive := func(e Event[int]) bool { return e.Gen == 2 }
 	q.Compact(isLive)
 	wantLen := 0
 	for _, g := range live {
@@ -202,16 +202,16 @@ func TestCompact(t *testing.T) {
 		if e.Gen != 2 {
 			t.Fatalf("stale event survived Compact: %+v", e)
 		}
-		if e.Time < prevTime || (e.Time == prevTime && e.Payload.(int) < prevPayload) {
+		if e.Time < prevTime || (e.Time == prevTime && e.Payload < prevPayload) {
 			t.Fatalf("Compact broke ordering: (%v, %v) after (%v, %v)", e.Time, e.Payload, prevTime, prevPayload)
 		}
-		prevTime, prevPayload = e.Time, e.Payload.(int)
+		prevTime, prevPayload = e.Time, e.Payload
 	}
 	allocs := testing.AllocsPerRun(50, func() {
 		for i := 0; i < 32; i++ {
-			q.PushGen(float64(i%7), nil, uint64(i%2))
+			q.PushGen(float64(i%7), i, uint64(i%2))
 		}
-		q.Compact(func(e Event) bool { return e.Gen == 0 })
+		q.Compact(func(e Event[int]) bool { return e.Gen == 0 })
 		q.Clear()
 	})
 	if allocs > 0 {
@@ -232,7 +232,7 @@ func BenchmarkBuildPush(b *testing.B) {
 	for _, sz := range benchSizes {
 		b.Run(sz.name, func(b *testing.B) {
 			times := benchTimes(sz.n)
-			var q Queue
+			var q Queue[int]
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Clear()
@@ -250,7 +250,7 @@ func BenchmarkBuildAppendFix(b *testing.B) {
 	for _, sz := range benchSizes {
 		b.Run(sz.name, func(b *testing.B) {
 			times := benchTimes(sz.n)
-			var q Queue
+			var q Queue[int]
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q.Clear()
@@ -268,15 +268,15 @@ func BenchmarkBuildAppendFix(b *testing.B) {
 func BenchmarkPushPopSteady(b *testing.B) {
 	for _, sz := range benchSizes {
 		b.Run(sz.name, func(b *testing.B) {
-			var q Queue
+			var q Queue[int]
 			r := xrand.New(5)
 			for i := 0; i < sz.n; i++ {
-				q.Push(r.Float64()*1e3, nil)
+				q.Push(r.Float64()*1e3, i)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e := q.Pop()
-				q.Push(e.Time+r.Float64()*10, nil)
+				q.Push(e.Time+r.Float64()*10, e.Payload)
 			}
 		})
 	}

@@ -39,10 +39,51 @@ func engineGateSweep() Sweep {
 	}
 }
 
+// diffResultSets diffs two sweep ResultSets cell by cell: identical
+// completion counts and rep seeds, statistics within engineTol.
+func diffResultSets(t *testing.T, aName, bName string, ra, rb *ResultSet) {
+	t.Helper()
+	if len(ra.Cells) != len(rb.Cells) {
+		t.Fatalf("cell counts differ: %s %d, %s %d", aName, len(ra.Cells), bName, len(rb.Cells))
+	}
+	for i := range ra.Cells {
+		a, b := ra.Cells[i], rb.Cells[i]
+		if a.Cell != b.Cell {
+			t.Fatalf("cell %d identity differs: %v vs %v", i, a.Cell, b.Cell)
+		}
+		if a.Completions != b.Completions {
+			t.Errorf("cell %v: completions %s %d, %s %d", a.Cell, aName, a.Completions, bName, b.Completions)
+		}
+		for _, c := range []struct {
+			name string
+			x, y float64
+		}{
+			{"ET", a.ET, b.ET}, {"ETI", a.ETI, b.ETI}, {"ETE", a.ETE, b.ETE},
+			{"EN", a.EN, b.EN}, {"Util", a.Util, b.Util}, {"P99", a.P99, b.P99},
+		} {
+			if !engClose(c.x, c.y) {
+				t.Errorf("cell %v: %s diverges beyond %g: %s %v, %s %v",
+					a.Cell, c.name, engineTol, aName, c.x, bName, c.y)
+			}
+		}
+		for r := range a.Reps {
+			if a.Reps[r].Seed != b.Reps[r].Seed {
+				t.Errorf("cell %v rep %d: seeds differ (%d vs %d)", a.Cell, r, a.Reps[r].Seed, b.Reps[r].Seed)
+			}
+			if a.Reps[r].Completions != b.Reps[r].Completions {
+				t.Errorf("cell %v rep %d: completions %d vs %d", a.Cell, r, a.Reps[r].Completions, b.Reps[r].Completions)
+			}
+		}
+	}
+}
+
 // TestEngineSweepEquivalence runs the gate sweep under both engines and
 // diffs the ResultSets: identical completion counts, statistics within
 // 1e-9. A second leg covers a class-mix grid so capped and partially
-// elastic classes cross the gate too.
+// elastic classes cross the gate too, and a third leg re-runs the
+// incremental sweep with SIM_FORCE_DENSE set — the sparse fast paths
+// (EQUI's class shares, SRPT's indexed heap, the write-set protocol) must
+// be invisible at sweep level compared to the dense fallback.
 func TestEngineSweepEquivalence(t *testing.T) {
 	grids := []Grid{
 		engineGateSweep().Grid,
@@ -62,38 +103,14 @@ func TestEngineSweepEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rsReb.Cells) != len(rsInc.Cells) {
-			t.Fatalf("cell counts differ: %d vs %d", len(rsReb.Cells), len(rsInc.Cells))
+		diffResultSets(t, "rebuild", "incremental", rsReb, rsInc)
+		t.Setenv("SIM_FORCE_DENSE", "1")
+		rsDense, err := Run(context.Background(), inc, Options{})
+		t.Setenv("SIM_FORCE_DENSE", "")
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i := range rsReb.Cells {
-			a, b := rsReb.Cells[i], rsInc.Cells[i]
-			if a.Cell != b.Cell {
-				t.Fatalf("cell %d identity differs: %v vs %v", i, a.Cell, b.Cell)
-			}
-			if a.Completions != b.Completions {
-				t.Errorf("cell %v: completions %d vs %d", a.Cell, a.Completions, b.Completions)
-			}
-			for _, c := range []struct {
-				name string
-				x, y float64
-			}{
-				{"ET", a.ET, b.ET}, {"ETI", a.ETI, b.ETI}, {"ETE", a.ETE, b.ETE},
-				{"EN", a.EN, b.EN}, {"Util", a.Util, b.Util}, {"P99", a.P99, b.P99},
-			} {
-				if !engClose(c.x, c.y) {
-					t.Errorf("cell %v: %s diverges beyond %g: rebuild %v, incremental %v",
-						a.Cell, c.name, engineTol, c.x, c.y)
-				}
-			}
-			for r := range a.Reps {
-				if a.Reps[r].Seed != b.Reps[r].Seed {
-					t.Errorf("cell %v rep %d: seeds differ (%d vs %d)", a.Cell, r, a.Reps[r].Seed, b.Reps[r].Seed)
-				}
-				if a.Reps[r].Completions != b.Reps[r].Completions {
-					t.Errorf("cell %v rep %d: completions %d vs %d", a.Cell, r, a.Reps[r].Completions, b.Reps[r].Completions)
-				}
-			}
-		}
+		diffResultSets(t, "incremental", "incremental/dense", rsInc, rsDense)
 	}
 }
 

@@ -30,11 +30,14 @@
 // class-priority family, FCFS, THRESH, GREEDY and DEFER — additionally
 // implement sim.SparsePolicy: AllocateSparse reports the same decision as
 // Allocate as an explicit write-set, which is what lets the incremental
-// engine step in O(changed · log n). EQUI (whose equal split touches every
-// job) and SRPT-k (which must read settled remaining sizes) deliberately do
-// not implement the facet and run on the incremental engine's dense
-// fallback. The cross-engine equivalence suite in internal/sim holds every
-// policy's two faces together.
+// engine step in O(changed · log n). EQUI's equal split touches every job,
+// so it implements sim.ClassSharePolicy instead: ClassShares reports the
+// water-filled per-class share vector and the engine tracks whole classes
+// on virtual-time coordinates. SRPT-k must read settled remaining sizes, so
+// it is marked sim.RemainingOrderedPolicy and the engine executes its rule
+// natively on an indexed heap. The cross-engine equivalence suite in
+// internal/sim holds every policy's faces together, and the dense faces
+// stay reachable forever through sim.Options.ForceDense / SIM_FORCE_DENSE.
 package policy
 
 import (
@@ -46,18 +49,21 @@ import (
 )
 
 // Compile-time checks: every member of the sparse family keeps both faces.
-// EQUI and SRPT-k intentionally have no sparse face (see the package
-// comment); the incremental engine runs them on its dense fallback.
+// EQUI's fast face is the class-share vector and SRPT-k's is the
+// remaining-order marker (see the package comment); their dense faces stay
+// reachable through sim.Options.ForceDense.
 var (
-	_ sim.SparsePolicy = InelasticFirst{}
-	_ sim.SparsePolicy = ElasticFirst{}
-	_ sim.SparsePolicy = ClassPriority{}
-	_ sim.SparsePolicy = (*LeastFlexibleFirst)(nil)
-	_ sim.SparsePolicy = (*SmallestMeanFirst)(nil)
-	_ sim.SparsePolicy = (*FCFS)(nil)
-	_ sim.SparsePolicy = Greedy{}
-	_ sim.SparsePolicy = Threshold{}
-	_ sim.SparsePolicy = DeferElastic{}
+	_ sim.SparsePolicy           = InelasticFirst{}
+	_ sim.SparsePolicy           = ElasticFirst{}
+	_ sim.SparsePolicy           = ClassPriority{}
+	_ sim.SparsePolicy           = (*LeastFlexibleFirst)(nil)
+	_ sim.SparsePolicy           = (*SmallestMeanFirst)(nil)
+	_ sim.SparsePolicy           = (*FCFS)(nil)
+	_ sim.SparsePolicy           = Greedy{}
+	_ sim.SparsePolicy           = Threshold{}
+	_ sim.SparsePolicy           = DeferElastic{}
+	_ sim.ClassSharePolicy       = Equi{}
+	_ sim.RemainingOrderedPolicy = (*SRPTK)(nil)
 )
 
 // priorityAllocate walks classes in the given order (nil means ascending
@@ -492,6 +498,76 @@ func (Equi) Allocate(st *sim.State, alloc *sim.Allocation) {
 	}
 }
 
+// ClassShares implements sim.ClassSharePolicy: the same water-filling
+// decision as Allocate, reported as one per-class share instead of n
+// per-job entries. The arithmetic below mirrors Allocate line for line —
+// same operations in the same order on the same values — so both faces
+// produce bit-identical shares; the cross-engine equivalence suite holds
+// them together.
+func (Equi) ClassShares(st *sim.State, shares []float64) {
+	n := 0
+	for _, q := range st.Queues {
+		n += len(q)
+	}
+	if n == 0 {
+		return
+	}
+	share := float64(st.K) / float64(n)
+	remaining := float64(st.K)
+	uncapped := 0
+	for c, q := range st.Queues {
+		capC := st.Classes[c].Cap()
+		if math.IsInf(capC, 1) {
+			uncapped += len(q)
+			continue
+		}
+		s := share
+		if s > capC {
+			s = capC
+		}
+		shares[c] = s
+		remaining -= float64(len(q)) * s
+	}
+	if uncapped > 0 {
+		per := remaining / float64(uncapped)
+		for c := range st.Queues {
+			if !math.IsInf(st.Classes[c].Cap(), 1) {
+				continue
+			}
+			shares[c] = per
+		}
+		return
+	}
+	for round := 0; round <= len(st.Queues) && remaining > 1e-12; round++ {
+		m := 0
+		for c, q := range st.Queues {
+			if len(q) > 0 && shares[c] < st.Classes[c].Cap() {
+				m += len(q)
+			}
+		}
+		if m == 0 {
+			return
+		}
+		add := remaining / float64(m)
+		for c, q := range st.Queues {
+			if len(q) == 0 {
+				continue
+			}
+			capC := st.Classes[c].Cap()
+			cur := shares[c]
+			if cur >= capC {
+				continue
+			}
+			delta := add
+			if cur+delta > capC {
+				delta = capC - cur
+			}
+			shares[c] = cur + delta
+			remaining -= float64(len(q)) * delta
+		}
+	}
+}
+
 // Greedy maximizes the instantaneous total departure rate
 // piI*muI + piE*muE (the GREEDY class of [7] referenced in Theorem 1) on
 // the two-class preset. When MuI >= MuE it allocates like IF; otherwise
@@ -707,3 +783,10 @@ func (p *SRPTK) Allocate(st *sim.State, alloc *sim.Allocation) {
 		remaining -= a
 	}
 }
+
+// RemainingOrdered implements sim.RemainingOrderedPolicy: Allocate above is
+// exactly the ascending-remaining walk (the stable insertion sort over
+// class-then-FCFS enumeration breaks ties by lower class, then lower ID)
+// handing each job min(cap, leftover), so the incremental engine may
+// execute the rule natively on its indexed heap.
+func (*SRPTK) RemainingOrdered() {}

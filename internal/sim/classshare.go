@@ -1,0 +1,237 @@
+package sim
+
+// The class-share fast path of the incremental engine: EQUI-style policies
+// whose allocation is uniform within every class cannot use the ShareSet
+// write-set protocol — every resident job holds a share, so an honest
+// write-set is O(n) per event. But uniformity is itself the exploitable
+// structure: when a water-filling share moves, it moves identically for
+// every job of the class, so the engine can track whole classes instead of
+// jobs.
+//
+// Each class carries a virtual-time coordinate vwork[c]: the work depleted
+// per job of class c since the coordinate's anchor. A class-c job arriving
+// when the coordinate reads v completes when the coordinate reaches
+// vtarget = v + Size — a constant computed once at arrival. Within a class,
+// completion order is vtarget order, so the live jobs sit in one min-heap
+// per class keyed (vtarget, ID), and only the head needs a completion event
+// in the future-event list. A policy refresh touches O(#classes) state:
+// re-derive the per-class share vector (the water-filling delta), and for
+// each class whose per-job rate or heap head changed, re-anchor that one
+// head event. Per-job rate and servers fields are deliberately left zero in
+// this mode; remaining work is derived on demand as vtarget - vwork[c].
+//
+// The coordinates are renormalized to zero whenever their class empties, so
+// floating-point dust in vwork never outlives a busy period.
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClassSharePolicy is an optional Policy extension for policies whose
+// allocation is uniform within each class (every class-c job receives the
+// same share). ClassShares must write class c's per-job share into
+// shares[c] for every nonempty class — exactly the value Allocate would
+// write into each alloc.Classes[c][i]; the cross-engine equivalence suite
+// holds the two faces together. The engine zeroes the slice beforehand;
+// entries for empty classes are ignored. Implementations must be
+// size-blind, like Allocate itself.
+type ClassSharePolicy interface {
+	Policy
+	ClassShares(st *State, shares []float64)
+}
+
+// vtargetHeap is a per-class binary min-heap of jobs keyed (vtarget, ID).
+// vtarget is fixed at arrival, so the heap needs no decrease-key: push on
+// arrival, pop on completion.
+type vtargetHeap struct {
+	jobs []*Job
+}
+
+func vtargetLess(a, b *Job) bool {
+	if a.vtarget != b.vtarget {
+		return a.vtarget < b.vtarget
+	}
+	return a.ID < b.ID
+}
+
+func (h *vtargetHeap) len() int { return len(h.jobs) }
+
+func (h *vtargetHeap) peek() *Job {
+	if len(h.jobs) == 0 {
+		return nil
+	}
+	return h.jobs[0]
+}
+
+func (h *vtargetHeap) push(j *Job) {
+	h.jobs = append(h.jobs, j)
+	i := len(h.jobs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !vtargetLess(h.jobs[i], h.jobs[parent]) {
+			break
+		}
+		h.jobs[i], h.jobs[parent] = h.jobs[parent], h.jobs[i]
+		i = parent
+	}
+}
+
+func (h *vtargetHeap) pop() *Job {
+	top := h.jobs[0]
+	last := len(h.jobs) - 1
+	h.jobs[0] = h.jobs[last]
+	h.jobs[last] = nil
+	h.jobs = h.jobs[:last]
+	n := last
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && vtargetLess(h.jobs[l], h.jobs[smallest]) {
+			smallest = l
+		}
+		if r < n && vtargetLess(h.jobs[r], h.jobs[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.jobs[i], h.jobs[smallest] = h.jobs[smallest], h.jobs[i]
+		i = smallest
+	}
+}
+
+// classShareState is the engine-side state of the class-share path.
+type classShareState struct {
+	policy ClassSharePolicy
+	// shares[c] is the current per-job share of class c; rate[c] the
+	// resulting per-job service rate; vwork[c] the virtual-time coordinate;
+	// heads[c] the job whose completion event is currently armed (nil when
+	// none is).
+	shares []float64
+	rate   []float64
+	vwork  []float64
+	heads  []*Job
+	vq     []vtargetHeap
+}
+
+func newClassShareState(p ClassSharePolicy, numClasses int) *classShareState {
+	return &classShareState{
+		policy: p,
+		shares: make([]float64, numClasses),
+		rate:   make([]float64, numClasses),
+		vwork:  make([]float64, numClasses),
+		heads:  make([]*Job, numClasses),
+		vq:     make([]vtargetHeap, numClasses),
+	}
+}
+
+// arrive registers a new job: its completion coordinate is fixed forever.
+func (cs *classShareState) arrive(s *System, j *Job) {
+	j.vtarget = cs.vwork[j.Class] + j.Size
+	cs.vq[j.Class].push(j)
+}
+
+// remaining derives a live job's exact remaining work at the current
+// coordinate reading.
+func (cs *classShareState) remaining(j *Job) float64 {
+	rem := j.vtarget - cs.vwork[j.Class]
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// advance moves every class's coordinate forward by dt of wall time at the
+// per-job rates currently in effect — O(#classes).
+func (cs *classShareState) advance(dt float64) {
+	for c, r := range cs.rate {
+		if r > 0 {
+			cs.vwork[c] += r * dt
+		}
+	}
+}
+
+// refresh re-derives the share vector and re-anchors the head events of the
+// classes whose per-job rate or head changed. Aggregates (incRate, incTotal)
+// are recomputed from scratch — O(#classes) — so they can never drift.
+func (cs *classShareState) refresh(s *System) {
+	const eps = 1e-9
+	for c := range cs.shares {
+		cs.shares[c] = 0
+	}
+	cs.policy.ClassShares(&s.st, cs.shares)
+	total := 0.0
+	for c := range s.queues {
+		n := len(s.queues[c])
+		spec := &s.classes[c]
+		if n == 0 {
+			cs.shares[c] = 0
+			cs.rate[c] = 0
+			s.incRate[c] = 0
+			continue
+		}
+		a := cs.shares[c]
+		capC := spec.Cap()
+		if a < -eps || a > capC+eps {
+			panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
+				s.policy.Name(), a, spec.Speedup, capC))
+		}
+		a = clamp(a, 0, capC)
+		cs.shares[c] = a
+		rate := a
+		if spec.Speedup.kind != speedupLinear && spec.Speedup.kind != speedupCapped {
+			rate = spec.Speedup.Rate(a)
+		}
+		total += float64(n) * a
+		s.incRate[c] = float64(n) * rate
+		head := cs.vq[c].peek()
+		if rate != cs.rate[c] || head != cs.heads[c] {
+			// Re-anchor this class's one completion event. The old head's
+			// entry (if any) goes stale via its generation bump; an event is
+			// queued only while the class is actually being served.
+			if old := cs.heads[c]; old != nil && old != head {
+				old.gen++
+			}
+			cs.rate[c] = rate
+			head.gen++
+			if rate > 0 {
+				t := s.clock + (head.vtarget-cs.vwork[c])/rate
+				if t < s.clock {
+					t = s.clock
+				}
+				s.evq.PushGen(t, head, head.gen)
+			}
+			cs.heads[c] = head
+		}
+	}
+	if total > float64(s.k)+1e-6 {
+		panic(fmt.Sprintf("sim: policy %s allocated %v servers on a %d-server system", s.policy.Name(), total, s.k))
+	}
+	s.incTotal = total
+	s.metrics.busyRate = math.Min(total, float64(s.k))
+}
+
+// complete finishes head job j: pop it, settle its floating-point residual
+// into Remaining (completeInc folds it out of the work aggregate), and
+// shrink the class aggregates by one job's worth.
+func (cs *classShareState) complete(s *System, j *Job) {
+	c := j.Class
+	if cs.vq[c].peek() != j {
+		panic("sim: class-share completion is not the class head")
+	}
+	cs.vq[c].pop()
+	j.Remaining = cs.remaining(j)
+	s.incTotal -= cs.shares[c]
+	s.incRate[c] -= cs.rate[c]
+	cs.heads[c] = nil
+	if cs.vq[c].len() == 0 {
+		// Renormalize the empty class's coordinate so vwork dust cannot
+		// accumulate across busy periods; no live vtarget references it.
+		cs.vwork[c] = 0
+		cs.rate[c] = 0
+		cs.shares[c] = 0
+		s.incRate[c] = 0
+	}
+}

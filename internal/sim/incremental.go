@@ -19,11 +19,18 @@ package sim
 //     full set of jobs holding a nonzero share as an explicit write-set
 //     (ShareSet). For the strict-priority family that set has at most
 //     ~k + #classes entries regardless of occupancy, so diffing it against
-//     the previous event's active set touches O(changed) jobs. Policies
-//     without the facet fall back to a dense path — settle every job, run
-//     Allocate on zeroed buffers, diff every entry — which is O(n) per
-//     event but produces identical decisions, so every policy is correct
-//     under either engine and the fast path is an optimization only.
+//     the previous event's active set touches O(changed) jobs. EQUI-style
+//     policies (uniform shares within a class) use the class-share path
+//     instead (classshare.go): per-class virtual-time coordinates and one
+//     head event per class, O(#classes) per event. SRPT-style policies
+//     (RemainingOrderedPolicy) run on an engine-native indexed heap over
+//     remaining sizes (srpt_inc.go), O(k log n) per event. Policies with
+//     none of these facets — and every policy under Options.ForceDense or
+//     SIM_FORCE_DENSE — fall back to a dense path: settle every job, run
+//     Allocate on zeroed buffers, diff every entry. That is O(n) per event
+//     but produces identical decisions, so every policy is correct under
+//     either engine; the dense fallback doubles as the oracle the
+//     differential test harness diffs all fast paths against.
 //
 // Per-class aggregates (incRate, incWork, incTotal) replace the metrics
 // integrator's per-job scans; they are renormalized to exact zero whenever
@@ -90,9 +97,12 @@ func (ws *ShareSet) reset(numClasses int) {
 // give a nonzero share, with the same shares — the cross-engine equivalence
 // suite holds the two faces of every policy together. Implementations must
 // be size-blind: Job.Remaining is NOT settled before AllocateSparse runs.
-// Policies whose decision depends on n jobs at once (EQUI's equal split,
-// SRPT's remaining-size order) should not implement the facet; they run on
-// the engine's dense fallback instead.
+// Policies whose decision depends on n jobs at once should implement one of
+// the structure-specific facets instead: ClassSharePolicy when shares are
+// uniform within each class (EQUI's water-filling), or
+// RemainingOrderedPolicy when the rule is ascending settled remaining size
+// (SRPT-k). Policies with no facet at all run on the engine's dense
+// fallback.
 type SparsePolicy interface {
 	Policy
 	AllocateSparse(st *State, ws *ShareSet)
@@ -104,7 +114,13 @@ func (s *System) settleJob(j *Job) {
 		return
 	}
 	if j.rate > 0 {
-		j.Remaining = math.Max(0, j.Remaining-j.rate*(s.clock-j.updated))
+		// Branch instead of math.Max (not inlined); operands are never NaN
+		// or -0, so this is bit-identical.
+		rem := j.Remaining - j.rate*(s.clock-j.updated)
+		if rem < 0 {
+			rem = 0
+		}
+		j.Remaining = rem
 	}
 	j.updated = s.clock
 }
@@ -149,8 +165,9 @@ func (s *System) setShare(j *Job, a float64, spec *ClassSpec) {
 }
 
 // refreshAllocationInc re-runs the policy if the job set changed, through
-// the sparse write-set protocol when the policy supports it and the dense
-// diff fallback otherwise.
+// the fastest protocol the policy supports: the class-share path, the
+// engine-native remaining-size path, the sparse write-set protocol, or the
+// dense diff fallback.
 func (s *System) refreshAllocationInc() {
 	if !s.allocDirty {
 		return
@@ -158,11 +175,16 @@ func (s *System) refreshAllocationInc() {
 	s.allocDirty = false
 	s.st.Time = s.clock
 	s.st.Queues = s.queues
-	if s.sparse != nil {
+	switch {
+	case s.cs != nil:
+		s.cs.refresh(s)
+	case s.srpt != nil:
+		s.srpt.refresh(s)
+	case s.sparse != nil:
 		s.incWrites.reset(len(s.classes))
 		s.sparse.AllocateSparse(&s.st, &s.incWrites)
 		s.applySparse()
-	} else {
+	default:
 		s.settleAll()
 		for c, q := range s.queues {
 			s.alloc.Classes[c] = resizeZero(s.alloc.Classes[c], len(q))
@@ -178,7 +200,7 @@ func (s *System) refreshAllocationInc() {
 	// in one pass. The closure captures nothing, so this stays
 	// allocation-free; dequeue order of live entries is unchanged.
 	if n := s.evq.Len(); n > 64 && n > 4*s.NumJobs() {
-		s.evq.Compact(func(e eventq.Event) bool { return e.Gen == e.Payload.(*Job).gen })
+		s.evq.Compact(func(e eventq.Event[*Job]) bool { return e.Gen == e.Payload.gen })
 	}
 }
 
@@ -241,7 +263,7 @@ func (s *System) applyDense() {
 func (s *System) peekLive() (*Job, float64) {
 	for !s.evq.Empty() {
 		e := s.evq.Peek()
-		j := e.Payload.(*Job)
+		j := e.Payload
 		if e.Gen != j.gen {
 			s.evq.Pop()
 			continue
@@ -266,14 +288,37 @@ func (s *System) advanceTimeInc(t float64) {
 		}
 		s.incWork[c] = w
 	}
+	if s.cs != nil {
+		s.cs.advance(dt)
+	}
 	s.clock = t
+}
+
+// arriveInc registers a fresh arrival with the active specialized mode.
+func (s *System) arriveInc(j *Job) {
+	switch {
+	case s.cs != nil:
+		s.cs.arrive(s, j)
+	case s.srpt != nil:
+		s.srpt.arrive(s, j)
+	}
 }
 
 // completeInc finishes j at the current clock: settle, remove, record,
 // recycle. The job's popped heap entry is already gone; the generation bump
 // kills any other entries it may still have.
 func (s *System) completeInc(j *Job) {
-	s.settleJob(j)
+	if s.cs != nil {
+		// Class-share jobs carry no per-job rate; their residual is derived
+		// from the class coordinate and the class aggregates shrink by one
+		// job's worth inside the mode hook.
+		s.cs.complete(s, j)
+	} else {
+		s.settleJob(j)
+		if s.srpt != nil {
+			s.srpt.complete(s, j)
+		}
+	}
 	// The event time was computed from the job's anchor, so the settled
 	// residual is floating-point dust; fold it out of the class aggregate
 	// so aggregates keep tracking the live set exactly.
@@ -289,20 +334,32 @@ func (s *System) completeInc(j *Job) {
 	j.servers, j.rate = 0, 0
 	j.gen++
 	q := s.queues[j.Class]
-	if len(q) > 0 && q[0] == j {
+	switch {
+	case s.orderBlind:
+		// Order-blind modes maintain qpos, so departures swap-remove O(1).
+		if int(j.qpos) >= len(q) || q[j.qpos] != j {
+			panic("sim: queue position out of sync")
+		}
+		last := len(q) - 1
+		moved := q[last]
+		q[j.qpos] = moved
+		moved.qpos = j.qpos
+		q[last] = nil
+		s.queues[j.Class] = q[:last]
+	case len(q) > 0 && q[0] == j:
 		// FCFS-within-class completions leave from the head: O(1) by
 		// advancing the slice window (append reuses the tail capacity, so
 		// reallocation is amortized O(1/n) per event).
 		q[0] = nil
 		s.queues[j.Class] = q[1:]
-	} else {
+	default:
 		var removed bool
 		s.queues[j.Class], removed = removeJob(q, j)
 		if !removed {
 			panic("sim: completing job not found in system")
 		}
 	}
-	if s.sparse != nil {
+	if s.sparse != nil || s.srpt != nil {
 		for i, a := range s.incActive {
 			if a == j {
 				last := len(s.incActive) - 1
@@ -340,6 +397,19 @@ func (s *System) advanceToInc(t float64) []Completion {
 			s.evq.Pop()
 			s.advanceTimeInc(tc)
 			s.completeInc(j)
+			// Batch simultaneous completions: rates cannot change until the
+			// policy re-runs, so every other live event at exactly tc is
+			// already decided — complete them all now and re-invoke the
+			// policy once for the whole timestamp instead of once per event.
+			// Exact-time ties are what batch/fork-join workloads produce.
+			for {
+				j2, tc2 := s.peekLive()
+				if j2 == nil || tc2 != tc {
+					break
+				}
+				s.evq.Pop()
+				s.completeInc(j2)
+			}
 			continue
 		}
 		if s.clock < t {

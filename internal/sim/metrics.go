@@ -96,27 +96,8 @@ func (m *Metrics) Clone() Metrics {
 	return out
 }
 
-func (m *Metrics) integrate(s *System, dt float64) {
-	for c, q := range s.queues {
-		m.areaN[c] += float64(len(q)) * dt
-		// Between events each class's work declines linearly at its total
-		// service rate, so the exact integral over the segment is the
-		// trapezoid rule with the segment's constant depletion rate.
-		r := 0.0
-		for _, j := range q {
-			r += j.rate
-		}
-		m.areaW[c] += (s.WorkClass(Class(c)) - 0.5*r*dt) * dt
-	}
-	m.areaBusy += m.busyRate * dt
-	m.elapsed += dt
-	if m.TrackOccupancy {
-		key := [2]int{min(s.NumClass(0), occupancyCap), min(s.NumClass(1), occupancyCap)}
-		m.occupancy[key] += dt
-	}
-}
-
-// integrateInc is integrate for the incremental engine: identical segment
+// integrateInc is the incremental engine's metric integrator (the rebuild
+// engine's integrals live fused inside System.advanceWork): identical segment
 // integrals computed from the maintained per-class aggregates (incWork,
 // incRate) instead of per-job scans, so one event costs O(#classes).
 func (m *Metrics) integrateInc(s *System, dt float64) {

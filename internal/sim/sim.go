@@ -35,6 +35,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 
 	"repro/internal/dist"
@@ -95,10 +96,10 @@ type Arrival struct {
 // The pointer returned by Arrive is valid until the job completes; completed
 // Job structs are recycled by the engine.
 type Job struct {
-	ID        int
-	Class     Class
-	Arrival   float64
-	Size      float64
+	// The per-event hot fields lead the struct so the stepping loops (which
+	// walk recycled, free-list-local jobs) touch one cache line per job:
+	// Remaining and rate are read by every depletion, updated/gen by every
+	// incremental settle and event push.
 	Remaining float64
 	rate      float64 // current service rate s(servers)
 	servers   float64 // current server allocation
@@ -112,6 +113,20 @@ type Job struct {
 	updated float64
 	gen     uint64
 	round   uint64
+
+	// vtarget is the job's completion coordinate on its class's virtual-time
+	// axis under the sparse EQUI path (classshare.go); hpos is its position
+	// in the sparse SRPT path's indexed heap (srpt_inc.go), -1 when absent;
+	// qpos is the job's index in its class queue, maintained only by the
+	// queue-order-blind engine modes so departures swap-remove in O(1).
+	vtarget float64
+	hpos    int32
+	qpos    int32
+
+	ID        int
+	Class     Class
+	Arrival   float64
+	Size      float64
 }
 
 // Rate returns the job's current service rate s(a).
@@ -196,6 +211,14 @@ func ParseEngine(s string) (Engine, error) {
 type Options struct {
 	// Engine selects the stepping engine; the zero value is EngineRebuild.
 	Engine Engine
+	// ForceDense disables the incremental engine's fast paths (the
+	// SparsePolicy write-set protocol and the specialized EQUI/SRPT modes)
+	// and runs every policy on the dense settle-all fallback. The fallback
+	// is the oracle the differential test harness diffs the fast paths
+	// against; this switch keeps it reachable forever. The SIM_FORCE_DENSE
+	// environment variable (any nonempty value) has the same effect, so the
+	// oracle can also be forced through CLIs and CI without a code change.
+	ForceDense bool
 }
 
 // System is one simulated cluster under one policy.
@@ -217,7 +240,7 @@ type System struct {
 	// backing array is reused, so rebuilding is allocation-free); the
 	// incremental engine keeps entries across steps and discards stale
 	// generations lazily.
-	evq eventq.Queue
+	evq eventq.Queue[*Job]
 
 	metrics Metrics
 
@@ -232,8 +255,15 @@ type System struct {
 	// SparsePolicy facet when it has one; incRate/incWork are per-class
 	// service-rate and remaining-work aggregates settled to clock; incTotal
 	// is the allocated server total; incActive holds the jobs with nonzero
-	// allocation (sparse path only) and incActiveBuf is its double buffer.
+	// allocation (sparse and srpt paths) and incActiveBuf is its double
+	// buffer. cs and srpt are the specialized EQUI/SRPT modes (classshare.go,
+	// srpt_inc.go); at most one of sparse/cs/srpt is active. orderBlind marks
+	// the modes whose policies never read FCFS queue positions, letting
+	// departures swap-remove from the queue slices in O(1).
 	sparse       SparsePolicy
+	cs           *classShareState
+	srpt         *srptState
+	orderBlind   bool
 	incRate      []float64
 	incWork      []float64
 	incTotal     float64
@@ -273,9 +303,20 @@ func NewClassSystemOpts(k int, classes []ClassSpec, policy Policy, opts Options)
 	s.metrics.init(len(classes))
 	s.metrics.Reset(0)
 	if s.engine == EngineIncremental {
-		s.sparse, _ = policy.(SparsePolicy)
 		s.incRate = make([]float64, len(classes))
 		s.incWork = make([]float64, len(classes))
+		if !opts.ForceDense && os.Getenv("SIM_FORCE_DENSE") == "" {
+			switch p := policy.(type) {
+			case ClassSharePolicy:
+				s.cs = newClassShareState(p, len(classes))
+				s.orderBlind = true
+			case RemainingOrderedPolicy:
+				s.srpt = &srptState{}
+				s.orderBlind = true
+			default:
+				s.sparse, _ = policy.(SparsePolicy)
+			}
+		}
 	}
 	return s
 }
@@ -387,11 +428,14 @@ func (s *System) Arrive(a Arrival) *Job {
 	j.Size = a.Size
 	j.Remaining = a.Size
 	j.updated = s.clock
+	j.hpos = -1
+	j.qpos = int32(len(s.queues[a.Class]))
 	s.nextID++
 	s.queues[a.Class] = append(s.queues[a.Class], j)
 	s.metrics.arrivals[a.Class]++
 	if s.engine == EngineIncremental {
 		s.incWork[a.Class] += a.Size
+		s.arriveInc(j)
 	}
 	s.allocDirty = true
 	return j
@@ -506,8 +550,9 @@ func (s *System) applyAllocation() {
 		// (clamped) allocation, so the dispatch through Speedup.Rate is
 		// hoisted out of the hot loop.
 		identityRate := spec.Speedup.kind == speedupLinear || spec.Speedup.kind == speedupCapped
+		ac := s.alloc.Classes[c]
 		for i, j := range q {
-			a := s.alloc.Classes[c][i]
+			a := ac[i]
 			if a < -eps || a > capC+eps {
 				panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
 					s.policy.Name(), a, spec.Speedup, capC))
@@ -553,22 +598,48 @@ func (s *System) nextCompletion() (*Job, float64) {
 	}
 	s.evq.Fix()
 	e := s.evq.Peek()
-	return e.Payload.(*Job), e.Time
+	return e.Payload, e.Time
 }
 
 // advanceWork depletes remaining sizes over dt at current rates and
-// integrates metrics.
+// integrates metrics. The metric integrals and the depletion are fused into
+// one walk per class — the accumulation order over jobs is identical to the
+// historical separate integrate + deplete scans (work and rate sums read
+// each job before it is depleted, in queue order), so the fusion is
+// bit-invisible to the golden set while halving the pointer traffic of the
+// rebuild engine's dominant loop.
 func (s *System) advanceWork(dt float64) {
 	if dt <= 0 {
 		return
 	}
-	s.metrics.integrate(s, dt)
-	for _, q := range s.queues {
+	m := &s.metrics
+	for c, q := range s.queues {
+		r, w := 0.0, 0.0
 		for _, j := range q {
+			w += j.Remaining
 			if j.rate > 0 {
-				j.Remaining = math.Max(0, j.Remaining-j.rate*dt)
+				r += j.rate
+				// max(0, rem-rate*dt) via a branch: math.Max is not inlined
+				// and the operands here are never NaN or -0, so the branch is
+				// bit-identical.
+				rem := j.Remaining - j.rate*dt
+				if rem < 0 {
+					rem = 0
+				}
+				j.Remaining = rem
 			}
 		}
+		m.areaN[c] += float64(len(q)) * dt
+		// Between events the class's work declines linearly at its total
+		// service rate, so the exact integral over the segment is the
+		// trapezoid rule with the segment's constant depletion rate.
+		m.areaW[c] += (w - 0.5*r*dt) * dt
+	}
+	m.areaBusy += m.busyRate * dt
+	m.elapsed += dt
+	if m.TrackOccupancy {
+		key := [2]int{min(s.NumClass(0), occupancyCap), min(s.NumClass(1), occupancyCap)}
+		m.occupancy[key] += dt
 	}
 	s.clock += dt
 }
@@ -586,9 +657,20 @@ func (s *System) complete(j *Job) {
 	s.allocDirty = true
 }
 
+// removeJob deletes j from the FCFS slice preserving order, shifting
+// whichever side of the hole is shorter. Completions cluster near the head
+// of long queues (the served prefix under priority policies), where the
+// old shift-everything-right-of-i cost O(n) per event; shifting the short
+// left side and advancing the slice window makes that case O(i). The
+// abandoned front slot is reclaimed when append next reallocates.
 func removeJob(jobs []*Job, j *Job) ([]*Job, bool) {
 	for i, cand := range jobs {
 		if cand == j {
+			if i < len(jobs)-1-i {
+				copy(jobs[1:i+1], jobs[:i])
+				jobs[0] = nil
+				return jobs[1:], true
+			}
 			copy(jobs[i:], jobs[i+1:])
 			jobs[len(jobs)-1] = nil
 			return jobs[:len(jobs)-1], true

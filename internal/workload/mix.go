@@ -82,13 +82,13 @@ type mixStream struct {
 // arrival stream. It implements sim.ArrivalSource and never ends.
 type MixSource struct {
 	classes []mixStream
-	next    eventq.Queue
+	next    eventq.Queue[int]
 }
 
 // Next implements sim.ArrivalSource.
 func (s *MixSource) Next() (sim.Arrival, bool) {
 	e := s.next.Pop()
-	c := e.Payload.(int)
+	c := e.Payload
 	cs := &s.classes[c]
 	s.next.Push(e.Time+cs.arrRng.Exp(cs.lambda), c)
 	return sim.Arrival{Time: e.Time, Class: sim.Class(c), Size: cs.size.Sample(cs.sizeRng)}, true

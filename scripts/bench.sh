@@ -6,20 +6,24 @@
 # perf trajectory across PRs is preserved (a legacy single-snapshot file is
 # migrated into the history's first entry automatically).
 #
-# Usage: scripts/bench.sh [benchtime]   (default 2s)
+# Each benchmark runs 3 times and benchlog records the fastest sample
+# (best-of-3), so the history entries — the baselines `benchlog -check`
+# gates CI against — carry as little scheduler noise as possible.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 1s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-2s}"
+BENCHTIME="${1:-1s}"
 OUT="BENCH_engine.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "==> go test -bench Engine/Throughput (-benchtime $BENCHTIME)"
+echo "==> go test -bench Engine/Throughput (-benchtime $BENCHTIME, best of 3)"
 go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
-  -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+  -benchmem -benchtime "$BENCHTIME" -count 3 | tee -a "$RAW"
 go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' \
-  -benchmem -benchtime "$BENCHTIME" | tee -a "$RAW"
+  -benchmem -benchtime "$BENCHTIME" -count 3 | tee -a "$RAW"
 
 NOTE="$(git rev-parse --short HEAD 2>/dev/null || echo unversioned) benchtime=$BENCHTIME"
 go run ./cmd/benchlog -file "$OUT" -date "$(date -u +%Y-%m-%d)" -note "$NOTE" < "$RAW"

@@ -80,4 +80,39 @@ echo "    incremental pool and proc ResultSets byte-identical ($(wc -c < "$tmp/p
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
 
+echo "==> sparse-vs-dense fuzz gate (EQUI class shares, SRPT indexed heap)"
+go test -fuzz=FuzzSparseShareSet -fuzztime=10s ./internal/sim
+
+echo "==> benchmark perf gate (ns/op vs BENCH_engine.json; BENCH_GATE=0 skips)"
+if [ "${BENCH_GATE:-1}" != "0" ]; then
+  # Best-of-3 per benchmark (benchlog keeps the fastest sample) against the
+  # newest recorded entry; >10% ns/op slowdown on any pinned benchmark fails.
+  go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
+    -benchmem -benchtime 1s -count 3 | tee "$tmp/bench.txt"
+  go run ./cmd/benchlog -check -file BENCH_engine.json < "$tmp/bench.txt"
+  # The structure-specific fast paths must beat the rebuild engine >= 10x at
+  # n = 10k and run allocation-free in steady state.
+  awk '
+    /^BenchmarkEngineEventN10k\// {
+      name = $1; sub(/^BenchmarkEngineEventN10k\//, "", name); sub(/-[0-9]+$/, "", name)
+      if (!(name in ns) || $3 + 0 < ns[name]) ns[name] = $3 + 0
+      for (i = 1; i <= NF; i++) if ($i == "allocs/op" && $(i-1) + 0 > alloc[name]) alloc[name] = $(i-1) + 0
+    }
+    END {
+      fail = 0
+      split("EQUI SRPT", pols, " ")
+      for (p in pols) {
+        pol = pols[p]
+        reb = ns["rebuild-" pol]; inc = ns["incremental-" pol]
+        if (reb == 0 || inc == 0) { printf "FAIL: missing N10k benchmarks for %s\n", pol; fail = 1; continue }
+        if (reb / inc < 10) { printf "FAIL: incremental %s only %.1fx faster than rebuild at n=10k (want >= 10x)\n", pol, reb / inc; fail = 1 }
+        else printf "    incremental %s: %.0fx faster than rebuild at n=10k\n", pol, reb / inc
+        if (alloc["incremental-" pol] != 0) { printf "FAIL: incremental %s allocates %d allocs/op in steady state (want 0)\n", pol, alloc["incremental-" pol]; fail = 1 }
+      }
+      exit fail
+    }' "$tmp/bench.txt"
+else
+  echo "    skipped (BENCH_GATE=0)"
+fi
+
 echo "CI green."
