@@ -3,7 +3,8 @@
 // arrival sequences and the total and inelastic work in system are compared
 // at every event epoch. Independent traces run in parallel on an
 // internal/exp dispatch backend — goroutines by default, worker
-// subprocesses with -backend proc.
+// subprocesses with -backend proc, or a networked fabric dispatcher with
+// -backend fabric -dispatcher host:port.
 //
 // Usage:
 //
@@ -20,6 +21,7 @@ import (
 	"os/signal"
 
 	"repro/internal/exp"
+	"repro/internal/fabric"
 )
 
 func main() {
@@ -27,17 +29,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dominance: ")
 	var (
-		k       = flag.Int("k", 4, "number of servers")
-		rho     = flag.Float64("rho", 0.8, "system load in (0,1) (lambdaI=lambdaE)")
-		muI     = flag.Float64("muI", 1.5, "inelastic service rate")
-		muE     = flag.Float64("muE", 1.0, "elastic service rate")
-		polA    = flag.String("a", "IF", "policy A (the claimed dominator)")
-		polB    = flag.String("b", "EF", "policy B")
-		n       = flag.Int("n", 20_000, "arrivals per trace")
-		seeds   = flag.Int("seeds", 5, "number of independent traces")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		backend = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
-		procs   = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		k        = flag.Int("k", 4, "number of servers")
+		rho      = flag.Float64("rho", 0.8, "system load in (0,1) (lambdaI=lambdaE)")
+		muI      = flag.Float64("muI", 1.5, "inelastic service rate")
+		muE      = flag.Float64("muE", 1.0, "elastic service rate")
+		polA     = flag.String("a", "IF", "policy A (the claimed dominator)")
+		polB     = flag.String("b", "EF", "policy B")
+		n        = flag.Int("n", 20_000, "arrivals per trace")
+		seeds    = flag.Int("seeds", 5, "number of independent traces")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
+		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		dispatch = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -48,8 +51,13 @@ func main() {
 	case "pool":
 	case "proc":
 		be = &exp.ProcBackend{Procs: *procs}
+	case "fabric":
+		if *dispatch == "" {
+			log.Fatal("-backend fabric requires -dispatcher host:port")
+		}
+		be = &fabric.Backend{Addr: *dispatch, Name: "dominance"}
 	default:
-		log.Fatalf("unknown -backend %q (want pool or proc)", *backend)
+		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,143 @@
+// Command fabricd is the networked sweep fabric daemon. One process runs as
+// the dispatcher — it owns the task queue, the job registry and the outcome
+// cache, and listens for workers and clients — and any number of processes
+// on any reachable host run as workers that connect to it and execute
+// tasks:
+//
+//	fabricd -role dispatcher -listen 127.0.0.1:9071 -cache outcomes.jsonl
+//	fabricd -role worker -dispatcher 127.0.0.1:9071 -slots 8
+//
+// Sweeps are submitted either attached, from any driver with
+// `-backend fabric -dispatcher host:port` (simulate, figures, dominance),
+// or detached via cmd/psq. Workers heartbeat while connected and reconnect
+// with exponential backoff; the dispatcher re-queues the in-flight task of
+// a lost worker, so killing a worker mid-sweep changes nothing about the
+// results — every backend is bit-identical by construction.
+//
+// -listen accepts ":0" to pick a free port; -addr-file then publishes the
+// actual address for scripts (the CI gate uses exactly this).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fabricd: ")
+	var (
+		role       = flag.String("role", "", "dispatcher or worker (required)")
+		listen     = flag.String("listen", "127.0.0.1:9071", "dispatcher: address to listen on (\":0\" picks a free port)")
+		addrFile   = flag.String("addr-file", "", "dispatcher: write the actual listen address to this file (for scripts with -listen :0)")
+		cachePath  = flag.String("cache", "", "dispatcher: JSONL outcome cache; finished tasks are reused across jobs and clients")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 15*time.Second, "dispatcher: silence after which a worker is declared dead and its task re-queued")
+		attempts   = flag.Int("max-attempts", 3, "dispatcher: attempts per task across worker losses before the job fails")
+		dispatcher = flag.String("dispatcher", "", "worker: dispatcher address to connect to (required)")
+		name       = flag.String("name", "", "worker: name reported to the dispatcher (default host:pid)")
+		slots      = flag.Int("slots", 1, "worker: concurrent task slots (independent connections) in this process")
+		heartbeat  = flag.Duration("heartbeat", 3*time.Second, "worker: heartbeat interval; keep well under the dispatcher's -heartbeat-timeout")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "dispatcher":
+		runDispatcher(ctx, *listen, *addrFile, *cachePath, *hbTimeout, *attempts)
+	case "worker":
+		runWorker(ctx, *dispatcher, *name, *slots, *heartbeat)
+	default:
+		log.Fatalf("-role must be dispatcher or worker (got %q)", *role)
+	}
+}
+
+func runDispatcher(ctx context.Context, listen, addrFile, cachePath string, hbTimeout time.Duration, attempts int) {
+	opts := fabric.DispatcherOptions{
+		MaxTaskAttempts:  attempts,
+		HeartbeatTimeout: hbTimeout,
+		Logf:             log.Printf,
+	}
+	if cachePath != "" {
+		fc, err := fabric.OpenFileOutcomeCache(cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := fc.Corrupt(); n > 0 {
+			log.Printf("warning: cache %s: skipped %d corrupt line(s); the affected tasks will be recomputed", cachePath, n)
+		}
+		defer fc.Close()
+		log.Printf("outcome cache %s: %d entries", cachePath, fc.Len())
+		opts.Cache = fc
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dispatcher listening on %s (env probe %s)", ln.Addr(), fabric.EnvProbe())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d := fabric.NewDispatcher(opts)
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down")
+		d.Close()
+	}()
+	if err := d.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runWorker(ctx context.Context, dispatcher, name string, slots int, heartbeat time.Duration) {
+	if dispatcher == "" {
+		log.Fatal("-role worker requires -dispatcher host:port")
+	}
+	if slots < 1 {
+		log.Fatalf("-slots must be >= 1 (got %d)", slots)
+	}
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	log.Printf("%d worker slot(s) connecting to %s", slots, dispatcher)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		w := &fabric.Worker{
+			Dispatcher:        dispatcher,
+			Name:              fmt.Sprintf("%s/%d", name, i),
+			HeartbeatInterval: heartbeat,
+			Logf:              log.Printf,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				// A handshake refusal is permanent (version or env drift):
+				// surface it loudly and bring the whole process down rather
+				// than serve with a subset of drifted slots.
+				log.Fatalf("worker %s: %v", w.Name, err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,8 +1,9 @@
 // Command figures regenerates every figure of the paper's evaluation
 // section as CSV (and an ASCII rendering for the heat maps), dispatching
 // each figure's parameter grid across an internal/exp backend — the
-// in-process goroutine pool by default, or sharded worker subprocesses
-// with -backend proc (bit-identical output either way):
+// in-process goroutine pool by default, sharded worker subprocesses with
+// -backend proc, or a networked fabric dispatcher with -backend fabric
+// -dispatcher host:port (bit-identical output any way):
 //
 //	figures -fig 4            # heat maps of Figure 4a/4b/4c
 //	figures -fig 5            # curves of Figure 5a/5b/5c
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/plot"
 )
 
@@ -56,13 +58,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig     = flag.String("fig", "all", "which artifact: 4, 5, 6, validate, ablation, mix, all")
-		outdir  = flag.String("outdir", "", "write CSVs here instead of stdout")
-		quick   = flag.Bool("quick", false, "smaller grids / shorter simulations")
-		svg     = flag.Bool("svg", false, "also render SVG figures into -outdir")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		backend = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
-		procs   = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		fig      = flag.String("fig", "all", "which artifact: 4, 5, 6, validate, ablation, mix, all")
+		outdir   = flag.String("outdir", "", "write CSVs here instead of stdout")
+		quick    = flag.Bool("quick", false, "smaller grids / shorter simulations")
+		svg      = flag.Bool("svg", false, "also render SVG figures into -outdir")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
+		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		dispatch = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -76,8 +79,13 @@ func main() {
 	case "pool":
 	case "proc":
 		opt.Backend = &exp.ProcBackend{Procs: *procs}
+	case "fabric":
+		if *dispatch == "" {
+			log.Fatal("-backend fabric requires -dispatcher host:port")
+		}
+		opt.Backend = &fabric.Backend{Addr: *dispatch, Name: "figures"}
 	default:
-		log.Fatalf("unknown -backend %q (want pool or proc)", *backend)
+		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -17,8 +17,10 @@
 //	simulate -k 4 -rho 0.9 -mix threeclass -policy LFF -quantiles 0.5,0.95,0.99,0.999
 //
 // -backend proc shards the (cell, replication) tasks across worker
-// subprocesses (exp.ProcBackend); results are bit-identical to the default
-// goroutine pool. -tail adds reservoir-sampled p99 response times, overall
+// subprocesses (exp.ProcBackend); -backend fabric -dispatcher host:port
+// submits them to a networked fabric dispatcher (cmd/fabricd) instead.
+// Results are bit-identical to the default goroutine pool either way.
+// -tail adds reservoir-sampled p99 response times, overall
 // and per class; -quantiles widens that to any quantile set. -engine
 // incremental opts into O(changed·log n) stepping for near-saturation
 // sweeps with many resident jobs (deterministic, own golden set; the
@@ -37,6 +39,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/fabric"
 )
 
 func parseInts(flagName, s string) []int {
@@ -92,8 +95,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "base RNG seed")
 		reps     = flag.Int("reps", 1, "independent replications per cell")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines) or proc (worker subprocesses)")
+		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
 		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		dispatch = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
 		tail     = flag.Bool("tail", false, "also report p99 response times, overall and per class")
 		quants   = flag.String("quantiles", "", "tail quantiles in (0,1), e.g. 0.5,0.95,0.99,0.999 (implies -tail)")
 		engine   = flag.String("engine", "rebuild", "stepping engine: rebuild (default, bit-frozen goldens) or incremental (O(changed·log n) per event for high-occupancy sweeps)")
@@ -162,8 +166,13 @@ func main() {
 	case "pool":
 	case "proc":
 		opt.Backend = &exp.ProcBackend{Procs: *procs}
+	case "fabric":
+		if *dispatch == "" {
+			log.Fatal("-backend fabric requires -dispatcher host:port")
+		}
+		opt.Backend = &fabric.Backend{Addr: *dispatch, Name: "simulate"}
 	default:
-		log.Fatalf("unknown -backend %q (want pool or proc)", *backend)
+		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
 	}
 	if *cache != "" {
 		fc, err := exp.OpenFileCache(*cache)

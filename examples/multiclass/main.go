@@ -31,9 +31,9 @@ func main() {
 	mix := workload.Mix{
 		Name: "threeclass",
 		Classes: []sim.ClassSpec{
-			{Name: "query(cap=1)", Speedup: sim.CappedSpeedup(1), Lambda: 4.0, Size: dist.NewExponential(4)},      // mean 0.25
-			{Name: "analytics(cap=4)", Speedup: sim.CappedSpeedup(4), Lambda: 1.6, Size: dist.NewExponential(1)},  // mean 1
-			{Name: "batch(elastic)", Speedup: sim.LinearSpeedup(), Lambda: 0.6, Size: dist.NewExponential(0.25)},  // mean 4
+			{Name: "query(cap=1)", Speedup: sim.CappedSpeedup(1), Lambda: 4.0, Size: dist.NewExponential(4)},     // mean 0.25
+			{Name: "analytics(cap=4)", Speedup: sim.CappedSpeedup(4), Lambda: 1.6, Size: dist.NewExponential(1)}, // mean 1
+			{Name: "batch(elastic)", Speedup: sim.LinearSpeedup(), Lambda: 0.6, Size: dist.NewExponential(0.25)}, // mean 4
 		},
 	}
 	fmt.Printf("three-class cluster: k=%d, rho=%.2f\n", k, mix.Rho(k))

@@ -73,10 +73,10 @@ func TestFitHyperExpBalancedTable(t *testing.T) {
 		name   string
 		m1, m2 float64
 	}{
-		{"busy-period", 2, 16},   // cv2 = 3
-		{"cv2-exactly-1", 1, 2},  // collapses to exponential
-		{"mild", 0.5, 0.6},       // cv2 = 1.4
-		{"extreme", 1, 1000},     // cv2 = 999
+		{"busy-period", 2, 16},  // cv2 = 3
+		{"cv2-exactly-1", 1, 2}, // collapses to exponential
+		{"mild", 0.5, 0.6},      // cv2 = 1.4
+		{"extreme", 1, 1000},    // cv2 = 999
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -11,11 +11,11 @@ import (
 // requested targets — never NaN/Inf, never a panic.
 func FuzzFit(f *testing.F) {
 	f.Add(1.0, 0.5, 6.0)
-	f.Add(2.0, 3.0, 288.0)          // the rho = 0.5 busy period
-	f.Add(0.001, 100.0, 1e-6)       // tiny mean, huge variability
-	f.Add(5.0, 0.01, 750.0)         // deep Erlang-mixture regime
-	f.Add(1e10, 1.0, 0.0)           // huge scale
-	f.Add(-1.0, -1.0, -1.0)         // nonsense
+	f.Add(2.0, 3.0, 288.0)    // the rho = 0.5 busy period
+	f.Add(0.001, 100.0, 1e-6) // tiny mean, huge variability
+	f.Add(5.0, 0.01, 750.0)   // deep Erlang-mixture regime
+	f.Add(1e10, 1.0, 0.0)     // huge scale
+	f.Add(-1.0, -1.0, -1.0)   // nonsense
 	f.Add(math.MaxFloat64, math.SmallestNonzeroFloat64, math.MaxFloat64)
 	f.Add(0.0, 0.0, 0.0)
 

@@ -23,9 +23,9 @@ func TestExponentialOracle(t *testing.T) {
 		{"mean", e.Mean(), 0.5},
 		{"moment0", e.Moment(0), 1},
 		{"moment1", e.Moment(1), 0.5},
-		{"moment2", e.Moment(2), 0.5},     // 2!/2^2
-		{"moment3", e.Moment(3), 0.75},    // 3!/2^3
-		{"moment4", e.Moment(4), 1.5},     // 4!/2^4
+		{"moment2", e.Moment(2), 0.5},  // 2!/2^2
+		{"moment3", e.Moment(3), 0.75}, // 3!/2^3
+		{"moment4", e.Moment(4), 1.5},  // 4!/2^4
 		{"median", e.Quantile(0.5), math.Ln2 / 2},
 		{"q0", e.Quantile(0), 0},
 		{"cdf-median", e.CDF(math.Ln2 / 2), 0.5},
@@ -140,10 +140,10 @@ func TestHyperExpOracle(t *testing.T) {
 		name      string
 		got, want float64
 	}{
-		{"mean", h.Mean(), 0.65},                 // 0.3/1 + 0.7/2
+		{"mean", h.Mean(), 0.65}, // 0.3/1 + 0.7/2
 		{"moment1", h.Moment(1), 0.65},
-		{"moment2", h.Moment(2), 0.95},           // 2(0.3 + 0.7/4)
-		{"moment3", h.Moment(3), 2.325},          // 6(0.3 + 0.7/8)
+		{"moment2", h.Moment(2), 0.95},  // 2(0.3 + 0.7/4)
+		{"moment3", h.Moment(3), 2.325}, // 6(0.3 + 0.7/8)
 		{"cdf1", h.CDF(1), 1 - 0.3*math.Exp(-1) - 0.7*math.Exp(-2)},
 		{"cdf-neg", h.CDF(-0.5), 0},
 	}
@@ -168,9 +168,9 @@ func TestCoxian2Oracle(t *testing.T) {
 		name      string
 		got, want float64
 	}{
-		{"mean", c.Mean(), 0.75},         // 1/4 + 0.25/0.5
+		{"mean", c.Mean(), 0.75}, // 1/4 + 0.25/0.5
 		{"moment1", c.Moment(1), 0.75},
-		{"moment2", c.Moment(2), 2.375},  // 2/16 + 2P/(mu1 mu2) + 2P/mu2^2
+		{"moment2", c.Moment(2), 2.375}, // 2/16 + 2P/(mu1 mu2) + 2P/mu2^2
 		{"moment3", c.Moment(3), 13.78125},
 	}
 	for _, ck := range checks {

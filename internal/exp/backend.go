@@ -27,7 +27,7 @@ type TaskSpec struct {
 	Cell Cell `json:"cell"`
 	// Rep is the replication index within the cell.
 	Rep int `json:"rep"`
-	// Seed is sw.repSeed(Cell, Rep) as computed by the submitter; the
+	// Seed is sw.RepSeed(Cell, Rep) as computed by the submitter; the
 	// executor recomputes it and refuses to run on a mismatch (which would
 	// mean the cell did not survive serialization bit-exactly).
 	Seed uint64 `json:"seed"`
@@ -99,9 +99,9 @@ type Task struct {
 	Dominance *DominanceTrace `json:"dominance,omitempty"`
 }
 
-// label names the task in error messages, so a failure deep inside a worker
+// Label names the task in error messages, so a failure deep inside a worker
 // always carries its cell/replication (or grid-point) identity.
-func (t Task) label() string {
+func (t Task) Label() string {
 	switch {
 	case t.Sim != nil:
 		return t.Sim.String()
@@ -126,11 +126,11 @@ func (t Task) label() string {
 // shortest-round-trip precision), which is what makes ProcBackend
 // bit-identical to PoolBackend.
 type Outcome struct {
-	Rep       *Replication      `json:"rep,omitempty"`
-	Analyze   *AnalyzeOut       `json:"analyze,omitempty"`
-	Validate  *ValidationRow    `json:"validate,omitempty"`
+	Rep       *Replication       `json:"rep,omitempty"`
+	Analyze   *AnalyzeOut        `json:"analyze,omitempty"`
+	Validate  *ValidationRow     `json:"validate,omitempty"`
 	Ablation  []core.AblationRow `json:"ablation,omitempty"`
-	Dominance *DominanceRun     `json:"dominance,omitempty"`
+	Dominance *DominanceRun      `json:"dominance,omitempty"`
 }
 
 // Env is the per-submission context shared by all tasks of one Submit call.
@@ -183,15 +183,21 @@ func (p PoolBackend) Submit(ctx context.Context, env Env, tasks []Task, emit fun
 	return err
 }
 
+// ExecuteTask runs one task in this process. It is the exported face of
+// runTask for out-of-package transports — internal/fabric's worker daemons
+// execute every assignment through it, which is what keeps a networked run
+// byte-identical to PoolBackend: all backends run the same executor.
+func ExecuteTask(env Env, t Task) (Outcome, error) { return runTask(env, t) }
+
 // runTask executes one task locally. It is the single executor shared by
 // every backend — PoolBackend calls it on a goroutine, ProcBackend's worker
-// subprocess calls it behind the wire protocol — so all backends run
-// byte-identical code. A panic anywhere inside the task surfaces as this
-// task's error.
+// subprocess calls it behind the wire protocol, fabric workers call it via
+// ExecuteTask — so all backends run byte-identical code. A panic anywhere
+// inside the task surfaces as this task's error.
 func runTask(env Env, t Task) (out Outcome, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("exp: %s panicked: %v", t.label(), p)
+			err = fmt.Errorf("exp: %s panicked: %v", t.Label(), p)
 		}
 	}()
 	switch {
@@ -202,26 +208,26 @@ func runTask(env Env, t Task) (out Outcome, err error) {
 		s := core.ForLoad(a.K, a.Rho, a.MuI, a.MuE)
 		ifRes, efRes, aerr := s.Analyze()
 		if aerr != nil {
-			return out, fmt.Errorf("exp: %s: %w", t.label(), aerr)
+			return out, fmt.Errorf("exp: %s: %w", t.Label(), aerr)
 		}
 		return Outcome{Analyze: &AnalyzeOut{TIF: ifRes.T, TEF: efRes.T}}, nil
 	case t.Validate != nil:
 		row, verr := runValidateTask(*t.Validate)
 		if verr != nil {
-			return out, fmt.Errorf("exp: %s: %w", t.label(), verr)
+			return out, fmt.Errorf("exp: %s: %w", t.Label(), verr)
 		}
 		return Outcome{Validate: &row}, nil
 	case t.Ablation != nil:
 		a := *t.Ablation
 		rows, aerr := core.BusyPeriodAblation(a.K, a.Rho, []float64{a.MuI})
 		if aerr != nil {
-			return out, fmt.Errorf("exp: %s: %w", t.label(), aerr)
+			return out, fmt.Errorf("exp: %s: %w", t.Label(), aerr)
 		}
 		return Outcome{Ablation: rows}, nil
 	case t.Dominance != nil:
 		run, derr := runDominanceTrace(*t.Dominance)
 		if derr != nil {
-			return out, fmt.Errorf("exp: %s: %w", t.label(), derr)
+			return out, fmt.Errorf("exp: %s: %w", t.Label(), derr)
 		}
 		return Outcome{Dominance: &run}, nil
 	}
@@ -237,7 +243,7 @@ func runSimTask(env Env, spec TaskSpec) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("exp: %s submitted without a sweep", spec)
 	}
 	sw := *env.Sweep
-	if want := sw.repSeed(spec.Cell, spec.Rep); spec.Seed != 0 && spec.Seed != want {
+	if want := sw.RepSeed(spec.Cell, spec.Rep); spec.Seed != 0 && spec.Seed != want {
 		return Outcome{}, fmt.Errorf("exp: %s: seed drift across dispatch boundary: spec has %d, re-derived %d", spec, spec.Seed, want)
 	}
 	if want := sw.Key(spec.Cell); spec.Key != "" && spec.Key != want {
@@ -343,7 +349,7 @@ func (t Task) checkOutcome(out Outcome) error {
 		ok = out.Dominance != nil
 	}
 	if !ok {
-		return fmt.Errorf("exp: backend returned no result for %s (worker/backend drift?)", t.label())
+		return fmt.Errorf("exp: backend returned no result for %s (worker/backend drift?)", t.Label())
 	}
 	return nil
 }

@@ -58,11 +58,11 @@ func TestKeyAndRepSeedPinned(t *testing.T) {
 		if got := sw.Key(tc.cell); got != tc.key {
 			t.Errorf("Key(%v) = %q, want pinned %q", tc.cell, got, tc.key)
 		}
-		if got := sw.repSeed(tc.cell, 0); got != tc.seed0 {
-			t.Errorf("repSeed(%v, 0) = %d, want pinned %d", tc.cell, got, tc.seed0)
+		if got := sw.RepSeed(tc.cell, 0); got != tc.seed0 {
+			t.Errorf("RepSeed(%v, 0) = %d, want pinned %d", tc.cell, got, tc.seed0)
 		}
-		if got := sw.repSeed(tc.cell, 1); got != tc.seed1 {
-			t.Errorf("repSeed(%v, 1) = %d, want pinned %d", tc.cell, got, tc.seed1)
+		if got := sw.RepSeed(tc.cell, 1); got != tc.seed1 {
+			t.Errorf("RepSeed(%v, 1) = %d, want pinned %d", tc.cell, got, tc.seed1)
 		}
 
 		// Round-trip the cell the way the wire protocol does; key and seed
@@ -81,7 +81,7 @@ func TestKeyAndRepSeedPinned(t *testing.T) {
 		if got := sw.Key(back); got != tc.key {
 			t.Errorf("Key after round-trip = %q, want %q", got, tc.key)
 		}
-		if got := sw.repSeed(back, 1); got != tc.seed1 {
+		if got := sw.RepSeed(back, 1); got != tc.seed1 {
 			t.Errorf("repSeed after round-trip = %d, want %d", got, tc.seed1)
 		}
 	}
@@ -233,7 +233,7 @@ func TestProcBackendWorkerDeathRetry(t *testing.T) {
 func TestProcBackendTaskErrorIdentity(t *testing.T) {
 	bad := Cell{K: 2, Rho: 0.5, MuI: 1, MuE: 1, Policy: "NOPE"}
 	sw := Sweep{Name: "bad", Jobs: 100}
-	tasks := []Task{{Sim: &TaskSpec{Cell: bad, Rep: 1, Seed: sw.repSeed(bad, 1), Key: sw.Key(bad)}}}
+	tasks := []Task{{Sim: &TaskSpec{Cell: bad, Rep: 1, Seed: sw.RepSeed(bad, 1), Key: sw.Key(bad)}}}
 	for name, be := range map[string]Backend{
 		"pool": PoolBackend{Workers: 2},
 		"proc": &ProcBackend{Procs: 1},
@@ -256,7 +256,7 @@ func TestProcBackendTaskErrorIdentity(t *testing.T) {
 func TestProcBackendSeedDriftRefused(t *testing.T) {
 	sw := smallSweep()
 	c := sw.Grid.Cells()[0]
-	tasks := []Task{{Sim: &TaskSpec{Cell: c, Rep: 0, Seed: sw.repSeed(c, 0) + 1, Key: sw.Key(c)}}}
+	tasks := []Task{{Sim: &TaskSpec{Cell: c, Rep: 0, Seed: sw.RepSeed(c, 0) + 1, Key: sw.Key(c)}}}
 	err := (&ProcBackend{Procs: 1}).Submit(context.Background(), Env{Sweep: &sw}, tasks, func(TaskResult) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "seed drift") {
 		t.Fatalf("seed drift not detected: %v", err)

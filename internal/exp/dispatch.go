@@ -117,6 +117,27 @@ func (o Options) backend() Backend {
 	return PoolBackend{Workers: o.Workers}
 }
 
+// Tasks validates the sweep and expands it into its full task list — one
+// Sim task per (cell, replication) pair, with the seed and cache key
+// precomputed exactly as Run would. This is the submission payload for
+// detached fabric jobs (cmd/psq), where no Run loop is present on the
+// client to build tasks lazily.
+func (sw Sweep) Tasks() ([]Task, error) {
+	if err := sw.validate(); err != nil {
+		return nil, err
+	}
+	var tasks []Task
+	for _, c := range sw.Grid.Cells() {
+		key := sw.Key(c)
+		for rep := 0; rep < sw.reps(); rep++ {
+			tasks = append(tasks, Task{Sim: &TaskSpec{
+				Cell: c, Rep: rep, Seed: sw.RepSeed(c, rep), Key: key,
+			}})
+		}
+	}
+	return tasks, nil
+}
+
 // Run executes the sweep: every (cell, replication) pair is one task
 // submitted to the configured Backend (the in-process goroutine pool by
 // default). Replication seeds depend only on cell identity and replication
@@ -151,7 +172,7 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 		for rep := 0; rep < reps; rep++ {
 			pending = append(pending, slot{ci, rep})
 			tasks = append(tasks, Task{Sim: &TaskSpec{
-				Cell: c, Rep: rep, Seed: sw.repSeed(c, rep), Key: key,
+				Cell: c, Rep: rep, Seed: sw.RepSeed(c, rep), Key: key,
 			}})
 		}
 	}

@@ -388,12 +388,12 @@ func (sw Sweep) keyString(c Cell) string {
 	return s
 }
 
-// repSeed derives the RNG seed of one replication purely from the cell
+// RepSeed derives the RNG seed of one replication purely from the cell
 // identity, the base seed and the replication index — never from worker or
 // scheduling state — so aggregates are bit-identical for any worker count.
 // Seed and rep are hashed as separate fields (no algebraic combination), so
 // nearby base seeds never share replication streams.
-func (sw Sweep) repSeed(c Cell, rep int) uint64 {
+func (sw Sweep) RepSeed(c Cell, rep int) uint64 {
 	return mix(fnvHash(fmt.Sprintf("%s|seed=%d|rep=%d", c, sw.seed(), rep)))
 }
 

@@ -142,7 +142,7 @@ func TestSeedsIndependentAcrossBaseSeeds(t *testing.T) {
 		sw := smallSweep()
 		sw.BaseSeed = base
 		for rep := 0; rep < 8; rep++ {
-			seed := sw.repSeed(cell, rep)
+			seed := sw.RepSeed(cell, rep)
 			at := fmt.Sprintf("base %d rep %d", base, rep)
 			if prev, dup := seen[seed]; dup {
 				t.Fatalf("seed %d shared by %s and %s", seed, prev, at)

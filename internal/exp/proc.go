@@ -217,7 +217,7 @@ func (s *procSubmit) runWorkerLoop(ctx context.Context) {
 			a := s.attempts[i]
 			s.mu.Unlock()
 			if a >= s.maxAttempts {
-				s.fail(fmt.Errorf("exp: proc backend: %s failed %d times across worker deaths (last: %v)", s.tasks[i].label(), a, err))
+				s.fail(fmt.Errorf("exp: proc backend: %s failed %d times across worker deaths (last: %v)", s.tasks[i].Label(), a, err))
 				return
 			}
 			continue

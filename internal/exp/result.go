@@ -58,7 +58,7 @@ func (sw Sweep) runReplication(c Cell, rep int) (r Replication, err error) {
 			err = fmt.Errorf("panicked: %v", p)
 		}
 	}()
-	seed := sw.repSeed(c, rep)
+	seed := sw.RepSeed(c, rep)
 	pol, err := c.policyImpl()
 	if err != nil {
 		return r, err

@@ -1,12 +1,10 @@
 package exp
 
-// Wire protocol between ProcBackend and its worker subprocesses: a
-// length-delimited JSONL framing over the worker's stdin/stdout. Each frame
-// is an ASCII decimal payload length, a newline, the JSON payload, and a
-// trailing newline — so a transcript is both unambiguous to parse (no
-// scanner line limits, binary-safe) and readable line-by-line by a human.
-//
-//	4 2\n{"id":3,"task":{...}}\n
+// Wire protocol between ProcBackend and its worker subprocesses: the
+// length-delimited JSONL framing of internal/wire ("<len>\n<json>\n")
+// over the worker's stdin/stdout. The frame codec itself lives in
+// internal/wire, where the internal/fabric TCP daemons share it (and fuzz
+// it); this file keeps the message vocabulary of the subprocess dialect.
 //
 // The conversation is: parent sends one hello frame (protocol version +
 // submission Env) and the worker acknowledges it with a ready frame (a
@@ -18,12 +16,8 @@ package exp
 
 import (
 	"bufio"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
-	"strconv"
-	"strings"
+
+	"repro/internal/wire"
 )
 
 // wireVersion guards against mixed parent/worker binaries: a worker
@@ -33,10 +27,6 @@ const wireVersion = 1
 // readyID is the response ID of the handshake acknowledgement — outside
 // the task-index space, which starts at 0.
 const readyID = -1
-
-// maxFrame bounds a frame payload (64 MiB, matching the FileCache reader's
-// ceiling); a length beyond it means a corrupt or hostile stream.
-const maxFrame = 64 << 20
 
 // helloMsg opens a worker session.
 type helloMsg struct {
@@ -62,74 +52,8 @@ type respMsg struct {
 }
 
 // writeFrame marshals v and writes one frame. The caller flushes.
-func writeFrame(w *bufio.Writer, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("exp: encoding frame: %w", err)
-	}
-	if _, err := fmt.Fprintf(w, "%d\n", len(data)); err != nil {
-		return err
-	}
-	if _, err := w.Write(data); err != nil {
-		return err
-	}
-	return w.WriteByte('\n')
-}
+func writeFrame(w *bufio.Writer, v any) error { return wire.WriteFrame(w, v) }
 
 // readFrame reads one frame into v. A clean EOF at a frame boundary returns
 // io.EOF; EOF mid-frame returns io.ErrUnexpectedEOF.
-func readFrame(r *bufio.Reader, v any) error {
-	line, err := readLengthLine(r)
-	if err != nil {
-		return err
-	}
-	n, err := strconv.Atoi(strings.TrimSpace(line))
-	if err != nil || n < 0 || n > maxFrame {
-		return fmt.Errorf("exp: bad frame length %q", strings.TrimSpace(line))
-	}
-	buf := make([]byte, n+1) // payload + trailing newline
-	if _, err := io.ReadFull(r, buf); err != nil {
-		if errors.Is(err, io.EOF) {
-			return io.ErrUnexpectedEOF
-		}
-		return err
-	}
-	if buf[n] != '\n' {
-		return fmt.Errorf("exp: frame missing trailing newline")
-	}
-	if err := json.Unmarshal(buf[:n], v); err != nil {
-		return fmt.Errorf("exp: decoding frame: %w", err)
-	}
-	return nil
-}
-
-// maxLengthLine bounds the frame-length line: maxFrame has 8 digits, so a
-// longer line can only come from a peer that is not speaking the protocol
-// (e.g. a misconfigured worker binary streaming arbitrary output) — fail
-// fast instead of buffering its stream without limit.
-const maxLengthLine = 16
-
-// readLengthLine reads up to a newline with a hard size cap. A clean EOF
-// before any byte returns io.EOF; EOF mid-line returns io.ErrUnexpectedEOF.
-func readLengthLine(r *bufio.Reader) (string, error) {
-	var line []byte
-	for {
-		b, err := r.ReadByte()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				if len(line) == 0 {
-					return "", io.EOF
-				}
-				return "", io.ErrUnexpectedEOF
-			}
-			return "", err
-		}
-		if b == '\n' {
-			return string(line), nil
-		}
-		line = append(line, b)
-		if len(line) > maxLengthLine {
-			return "", fmt.Errorf("exp: frame length line exceeds %d bytes; peer is not speaking the protocol", maxLengthLine)
-		}
-	}
-}
+func readFrame(r *bufio.Reader, v any) error { return wire.ReadFrame(r, v) }

@@ -82,7 +82,7 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 		if werr := writeFrame(bw, resp); werr != nil {
 			// Result not representable (e.g. NaN in a field json cannot
 			// carry): degrade to a task error, which always marshals.
-			resp = respMsg{ID: req.ID, Err: fmt.Sprintf("exp: %s: un-encodable result: %v", req.Task.label(), werr)}
+			resp = respMsg{ID: req.ID, Err: fmt.Sprintf("exp: %s: un-encodable result: %v", req.Task.Label(), werr)}
 			if werr := writeFrame(bw, resp); werr != nil {
 				return fmt.Errorf("writing response: %w", werr)
 			}

@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/wire"
+)
+
+// Backend submits task batches to a running fabric dispatcher — the
+// exp.Backend implementation behind `-backend fabric`. The submission is
+// attached: results stream back on the same connection and the job is
+// canceled if this process goes away. Because the dispatcher's workers all
+// execute the shared exp task executor and outcomes are addressed by index,
+// a fabric run is byte-identical to PoolBackend for any worker fleet and
+// any completion order.
+type Backend struct {
+	// Addr is the dispatcher's host:port.
+	Addr string
+	// Name labels the job in `psq list`; empty means "submit".
+	Name string
+	// DialTimeout bounds the dial; <= 0 means 10s.
+	DialTimeout time.Duration
+}
+
+// Submit implements exp.Backend.
+func (b *Backend) Submit(ctx context.Context, env exp.Env, tasks []exp.Task, emit func(exp.TaskResult) error) error {
+	if len(tasks) == 0 {
+		return ctx.Err()
+	}
+	name := b.Name
+	if name == "" {
+		name = "submit"
+	}
+	sess, err := dialFabric(ctx, b.Addr, b.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer sess.close()
+	if err := sess.send(clientReq{Submit: &submitReq{Name: name, Env: env, Tasks: tasks}}); err != nil {
+		return fmt.Errorf("fabric: submitting job: %w", err)
+	}
+	seen := make([]bool, len(tasks))
+	emitted := 0
+	for {
+		var resp clientResp
+		if err := sess.read(&resp); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("fabric: dispatcher connection lost with %d/%d results delivered: %w", emitted, len(tasks), err)
+		}
+		switch {
+		case resp.Err != "":
+			return errors.New(resp.Err)
+		case resp.Result != nil:
+			i := resp.Result.Index
+			if i < 0 || i >= len(tasks) {
+				return fmt.Errorf("fabric: dispatcher streamed result for task %d of %d", i, len(tasks))
+			}
+			if seen[i] {
+				return fmt.Errorf("fabric: dispatcher streamed task %d twice", i)
+			}
+			seen[i] = true
+			emitted++
+			if err := emit(exp.TaskResult{Index: i, Outcome: resp.Result.Out}); err != nil {
+				return err
+			}
+		case resp.Done != nil:
+			if resp.Done.Err != "" {
+				return errors.New(resp.Done.Err)
+			}
+			if emitted != len(tasks) {
+				return fmt.Errorf("fabric: job done with only %d/%d results streamed", emitted, len(tasks))
+			}
+			return ctx.Err()
+		case resp.Submitted != "":
+			// Informational; results follow.
+		}
+	}
+}
+
+// Client issues psq-style control operations against a running dispatcher.
+type Client struct {
+	// Addr is the dispatcher's host:port.
+	Addr string
+	// DialTimeout bounds the dial; <= 0 means 10s.
+	DialTimeout time.Duration
+}
+
+// SubmitDetached registers a job that runs with no client attached: the
+// dispatcher executes it to completion (filling its outcome cache), and
+// `psq list` tracks its progress. Returns the job ID.
+func (c *Client) SubmitDetached(ctx context.Context, name string, env exp.Env, tasks []exp.Task) (string, error) {
+	sess, err := dialFabric(ctx, c.Addr, c.DialTimeout)
+	if err != nil {
+		return "", err
+	}
+	defer sess.close()
+	if err := sess.send(clientReq{Submit: &submitReq{Name: name, Env: env, Tasks: tasks, Detach: true}}); err != nil {
+		return "", fmt.Errorf("fabric: submitting detached job: %w", err)
+	}
+	var resp clientResp
+	if err := sess.read(&resp); err != nil {
+		return "", fmt.Errorf("fabric: reading submit ack: %w", err)
+	}
+	if resp.Err != "" {
+		return "", errors.New(resp.Err)
+	}
+	if resp.Submitted == "" {
+		return "", fmt.Errorf("fabric: dispatcher acknowledged without a job id")
+	}
+	return resp.Submitted, nil
+}
+
+// List returns every job on the dispatcher in submission order.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	sess, err := dialFabric(ctx, c.Addr, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.close()
+	if err := sess.send(clientReq{List: true}); err != nil {
+		return nil, fmt.Errorf("fabric: listing jobs: %w", err)
+	}
+	var resp clientResp
+	if err := sess.read(&resp); err != nil {
+		return nil, fmt.Errorf("fabric: reading job list: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Jobs, nil
+}
+
+// Cancel cancels a running job by ID.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	sess, err := dialFabric(ctx, c.Addr, c.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer sess.close()
+	if err := sess.send(clientReq{Cancel: id}); err != nil {
+		return fmt.Errorf("fabric: canceling job %s: %w", id, err)
+	}
+	var resp clientResp
+	if err := sess.read(&resp); err != nil {
+		return fmt.Errorf("fabric: reading cancel ack: %w", err)
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// clientSession is one handshaken client connection.
+type clientSession struct {
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	watchDone chan struct{}
+}
+
+// dialFabric dials the dispatcher, completes the client handshake, and
+// arranges for ctx cancellation to kill the connection (unblocking reads).
+func dialFabric(ctx context.Context, addr string, timeout time.Duration) (*clientSession, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: dialing dispatcher %s: %w", addr, err)
+	}
+	s := &clientSession{
+		conn:      conn,
+		br:        bufio.NewReader(conn),
+		bw:        bufio.NewWriter(conn),
+		watchDone: make(chan struct{}),
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-s.watchDone:
+		}
+	}()
+	if err := s.send(helloMsg{V: protoVersion, Role: roleClient}); err != nil {
+		s.close()
+		return nil, fmt.Errorf("fabric: sending hello to %s: %w", addr, err)
+	}
+	var ack helloAck
+	if err := s.read(&ack); err != nil {
+		s.close()
+		return nil, fmt.Errorf("fabric: reading hello ack from %s — is a fabric dispatcher (cmd/fabricd -role dispatcher) listening there?: %w", addr, err)
+	}
+	if !ack.OK {
+		s.close()
+		return nil, fmt.Errorf("%w: %s", errHandshakeRefused, ack.Err)
+	}
+	return s, nil
+}
+
+func (s *clientSession) send(v any) error {
+	if err := wire.WriteFrame(s.bw, v); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+func (s *clientSession) read(v any) error { return wire.ReadFrame(s.br, v) }
+
+func (s *clientSession) close() {
+	close(s.watchDone)
+	s.conn.Close()
+}

@@ -1,0 +1,701 @@
+package fabric
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/wire"
+)
+
+// DispatcherOptions configure a Dispatcher. The zero value is usable.
+type DispatcherOptions struct {
+	// MaxTaskAttempts bounds how many times one task is attempted across
+	// worker losses before its job fails; <= 0 means 3. A task *error*
+	// (bad cell, panic) is never retried — errors are deterministic and
+	// surface immediately; only worker loss triggers a retry. This mirrors
+	// exp.ProcBackend.MaxTaskAttempts across the network.
+	MaxTaskAttempts int
+	// HeartbeatTimeout is the silence after which a connected worker is
+	// declared dead, its connection closed, and its in-flight task
+	// re-queued; <= 0 means 15s. Workers heartbeat while executing, so a
+	// slow-but-alive worker is never reaped.
+	HeartbeatTimeout time.Duration
+	// HandshakeTimeout bounds the hello exchange on a fresh connection,
+	// so a slow-loris peer (or a port scanner) cannot hold a connection
+	// open indefinitely without completing a handshake; <= 0 means 5s.
+	HandshakeTimeout time.Duration
+	// Cache, when non-nil, memoizes task outcomes across jobs and clients.
+	Cache OutcomeCache
+	// Logf receives operational events (worker joins, losses, re-queues);
+	// nil discards them.
+	Logf func(format string, args ...any)
+	// Clock overrides the time source for liveness decisions (tests); nil
+	// means time.Now.
+	Clock func() time.Time
+}
+
+// Dispatcher owns the fabric's task queue, job registry and result cache,
+// and serves worker and client connections over TCP. See the package
+// comment for the protocol; construct with NewDispatcher, run with Serve,
+// stop with Close.
+type Dispatcher struct {
+	opts DispatcherOptions
+	live *liveness
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	ln         net.Listener
+	queue      []taskRef
+	jobs       map[string]*job
+	jobOrder   []string
+	workers    map[int64]*workerLink
+	conns      map[net.Conn]struct{}
+	nextWorker int64
+	nextJob    int
+	closed     bool
+	closedCh   chan struct{}
+
+	requeues   atomic.Int64
+	cacheHits  atomic.Int64
+	handshakes atomic.Int64
+	refusals   atomic.Int64
+}
+
+// taskRef addresses one task of one job.
+type taskRef struct {
+	j   *job
+	idx int
+}
+
+// job is one submitted batch.
+type job struct {
+	id       string
+	name     string
+	env      exp.Env
+	tasks    []exp.Task
+	state    string
+	err      string
+	done     int
+	attempts []int
+	emitted  []bool
+	// stream carries finished tasks to the attached client; nil for
+	// detached jobs. Capacity is len(tasks), so pushing under the
+	// dispatcher lock never blocks.
+	stream chan streamMsg
+	// doneCh closes exactly once, when the job reaches a terminal state.
+	doneCh chan struct{}
+}
+
+// workerLink is one live worker connection.
+type workerLink struct {
+	id   int64
+	name string
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// results carries result frames from the read loop to the assignment
+	// loop.
+	results chan resultMsg
+	// readDone closes when the read loop exits (connection lost).
+	readDone chan struct{}
+	// dead is set under the dispatcher lock when the connection is lost,
+	// so a blocked task wait wakes and gives the slot up.
+	dead bool
+}
+
+// NewDispatcher returns a dispatcher ready to Serve.
+func NewDispatcher(opts DispatcherOptions) *Dispatcher {
+	if opts.MaxTaskAttempts <= 0 {
+		opts.MaxTaskAttempts = 3
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 15 * time.Second
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 5 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	d := &Dispatcher{
+		opts:     opts,
+		live:     newLiveness(opts.HeartbeatTimeout),
+		jobs:     make(map[string]*job),
+		workers:  make(map[int64]*workerLink),
+		conns:    make(map[net.Conn]struct{}),
+		closedCh: make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *Dispatcher) now() time.Time { return d.opts.Clock() }
+
+// Serve accepts connections on ln until Close. It owns ln and closes it on
+// return.
+func (d *Dispatcher) Serve(ln net.Listener) error {
+	defer ln.Close()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.ln = ln
+	d.mu.Unlock()
+	go d.reapLoop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-d.closedCh:
+				return nil
+			default:
+			}
+			return fmt.Errorf("fabric: accept: %w", err)
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		go d.handleConn(conn)
+	}
+}
+
+// Close stops the dispatcher: the listener and every live connection are
+// closed and all handler goroutines unblock. Running jobs are left in
+// their current state; a dispatcher is not meant to survive its process.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.closedCh)
+	ln := d.ln
+	conns := make([]net.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Requeues reports how many in-flight tasks were re-queued after a worker
+// loss — the fabric's analogue of ProcBackend.Restarts.
+func (d *Dispatcher) Requeues() int64 { return d.requeues.Load() }
+
+// CacheHits reports how many tasks were answered from the outcome cache.
+func (d *Dispatcher) CacheHits() int64 { return d.cacheHits.Load() }
+
+// Handshakes reports how many worker hellos were accepted (a worker that
+// reconnects counts once per connection).
+func (d *Dispatcher) Handshakes() int64 { return d.handshakes.Load() }
+
+// Refusals reports how many hellos were refused (version or probe drift).
+func (d *Dispatcher) Refusals() int64 { return d.refusals.Load() }
+
+// WorkerCount reports the number of currently connected workers.
+func (d *Dispatcher) WorkerCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.workers)
+}
+
+// Jobs reports every job in submission order.
+func (d *Dispatcher) Jobs() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobStatus, 0, len(d.jobOrder))
+	for _, id := range d.jobOrder {
+		j := d.jobs[id]
+		out = append(out, JobStatus{
+			ID: j.id, Name: j.name, State: j.state,
+			Done: j.done, Total: len(j.tasks), Err: j.err,
+		})
+	}
+	return out
+}
+
+// reapLoop periodically reaps silent workers. The tick only drives
+// *when* the check runs; the decision itself is reapSilent over d.now(),
+// so tests drive it directly with a fake clock.
+func (d *Dispatcher) reapLoop() {
+	interval := d.opts.HeartbeatTimeout / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.closedCh:
+			return
+		case <-t.C:
+			d.reapSilent(d.now())
+		}
+	}
+}
+
+// reapSilent closes the connection of every worker whose last frame is
+// older than the heartbeat timeout. Closing the connection funnels the
+// death through the same path as a network drop: the worker's read loop
+// errors, the assignment loop re-queues the in-flight task, and the slot
+// is released.
+func (d *Dispatcher) reapSilent(now time.Time) int {
+	n := 0
+	for _, id := range d.live.expired(now) {
+		d.mu.Lock()
+		w := d.workers[id]
+		d.mu.Unlock()
+		d.live.drop(id)
+		if w == nil {
+			continue
+		}
+		d.opts.Logf("fabric: worker %s silent for > %v, declaring dead", w.name, d.opts.HeartbeatTimeout)
+		w.conn.Close()
+		n++
+	}
+	return n
+}
+
+// handleConn performs the handshake and dispatches by role.
+func (d *Dispatcher) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		d.mu.Lock()
+		delete(d.conns, conn)
+		d.mu.Unlock()
+	}()
+	// The handshake deadline uses the real clock, not opts.Clock: socket
+	// deadlines are interpreted against real time by the runtime, and Clock
+	// only virtualizes liveness decisions.
+	conn.SetDeadline(time.Now().Add(d.opts.HandshakeTimeout))
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var hello helloMsg
+	if err := wire.ReadFrame(br, &hello); err != nil {
+		return // slow-loris, port scan, or peer gave up: drop silently
+	}
+	refuse := func(format string, args ...any) {
+		d.refusals.Add(1)
+		msg := fmt.Sprintf(format, args...)
+		d.opts.Logf("fabric: refusing %s hello from %s: %s", hello.Role, conn.RemoteAddr(), msg)
+		wire.WriteFrame(bw, helloAck{Err: msg})
+		bw.Flush()
+	}
+	if hello.V != protoVersion {
+		refuse("protocol version mismatch: dispatcher speaks v%d, peer speaks v%d (rebuild the older binary)", protoVersion, hello.V)
+		return
+	}
+	switch hello.Role {
+	case roleWorker:
+		if probe := EnvProbe(); hello.Probe != probe {
+			refuse("env drift: worker %q derives %q for the probe cell, dispatcher derives %q — the worker binary would compute different seeds/keys, refusing to hand it tasks", hello.Name, hello.Probe, probe)
+			return
+		}
+	case roleClient:
+		// Version check above is all a client needs.
+	default:
+		refuse("unknown role %q", hello.Role)
+		return
+	}
+	if err := wire.WriteFrame(bw, helloAck{OK: true}); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{}) // liveness takes over from here
+	if hello.Role == roleWorker {
+		d.handshakes.Add(1)
+		d.handleWorker(conn, br, bw, hello)
+		return
+	}
+	d.handleClient(conn, br, bw)
+}
+
+// handleWorker runs the assignment loop of one worker connection: pull a
+// task, send it, wait for the result or the connection's death, repeat.
+func (d *Dispatcher) handleWorker(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, hello helloMsg) {
+	d.mu.Lock()
+	d.nextWorker++
+	w := &workerLink{
+		id:   d.nextWorker,
+		name: fmt.Sprintf("%s@%s", hello.Name, conn.RemoteAddr()),
+		conn: conn, br: br, bw: bw,
+		results:  make(chan resultMsg, 1),
+		readDone: make(chan struct{}),
+	}
+	d.workers[w.id] = w
+	d.mu.Unlock()
+	d.live.seen(w.id, d.now())
+	d.opts.Logf("fabric: worker %s connected", w.name)
+	defer func() {
+		d.mu.Lock()
+		delete(d.workers, w.id)
+		d.mu.Unlock()
+		d.live.drop(w.id)
+		conn.Close()
+		d.opts.Logf("fabric: worker %s gone", w.name)
+	}()
+	go d.workerReadLoop(w)
+
+	var seq int64
+	for {
+		ref, ok := d.nextTask(w)
+		if !ok {
+			return
+		}
+		seq++
+		if err := d.sendAssign(w, assignMsg{Seq: seq, Env: ref.j.env, Task: ref.j.tasks[ref.idx]}); err != nil {
+			d.requeueOnLoss(ref, w, fmt.Errorf("send failed: %w", err))
+			return
+		}
+		res, ok := d.awaitResult(w, seq)
+		if !ok {
+			d.requeueOnLoss(ref, w, fmt.Errorf("connection lost mid-task"))
+			return
+		}
+		if res.Err != "" {
+			// Deterministic task failure: never retried, surfaces once as
+			// the job's error — the same contract as every other backend.
+			d.failJob(ref.j, res.Err)
+			continue
+		}
+		d.finishTask(ref, res.Out, false)
+	}
+}
+
+// workerReadLoop drains frames from one worker: every frame refreshes
+// liveness, results are forwarded to the assignment loop. On read error it
+// marks the link dead and wakes any blocked task wait.
+func (d *Dispatcher) workerReadLoop(w *workerLink) {
+	for {
+		var m workerMsg
+		if err := wire.ReadFrame(w.br, &m); err != nil {
+			d.mu.Lock()
+			w.dead = true
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			close(w.readDone)
+			w.conn.Close()
+			return
+		}
+		d.live.seen(w.id, d.now())
+		if m.Result != nil {
+			select {
+			case w.results <- *m.Result:
+			default:
+				// A result with no assignment outstanding: protocol abuse;
+				// drop it.
+			}
+		}
+	}
+}
+
+// sendAssign writes one assignment frame.
+func (d *Dispatcher) sendAssign(w *workerLink, a assignMsg) error {
+	if err := wire.WriteFrame(w.bw, a); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// awaitResult waits for the result of the outstanding assignment, the death
+// of the connection, or dispatcher shutdown. When the connection dies with
+// a result already delivered (the worker answered and dropped in the same
+// instant), the result wins — the task completed.
+func (d *Dispatcher) awaitResult(w *workerLink, seq int64) (resultMsg, bool) {
+	for {
+		select {
+		case res := <-w.results:
+			if res.Seq != seq {
+				d.opts.Logf("fabric: worker %s answered seq %d for assignment %d (protocol desync), dropping worker", w.name, res.Seq, seq)
+				w.conn.Close()
+				return resultMsg{}, false
+			}
+			return res, true
+		case <-w.readDone:
+			select {
+			case res := <-w.results:
+				if res.Seq == seq {
+					return res, true
+				}
+			default:
+			}
+			return resultMsg{}, false
+		case <-d.closedCh:
+			return resultMsg{}, false
+		}
+	}
+}
+
+// nextTask blocks until a runnable task is available and claims it for w.
+// Tasks of finished (failed, canceled) jobs are discarded on the way;
+// cache hits are answered immediately without occupying the worker. ok is
+// false when the dispatcher closed or the worker died.
+func (d *Dispatcher) nextTask(w *workerLink) (taskRef, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed || w.dead {
+			return taskRef{}, false
+		}
+		for len(d.queue) > 0 {
+			ref := d.queue[0]
+			d.queue = d.queue[1:]
+			if ref.j.state != JobRunning {
+				continue
+			}
+			if d.opts.Cache != nil {
+				if key, ok := taskCacheKey(ref.j.tasks[ref.idx]); ok {
+					if out, hit := d.opts.Cache.Get(key); hit {
+						d.cacheHits.Add(1)
+						d.finishTaskLocked(ref, out)
+						continue
+					}
+				}
+			}
+			return ref, true
+		}
+		d.cond.Wait()
+	}
+}
+
+// requeueOnLoss returns a lost worker's in-flight task to the queue —
+// the network generalization of ProcBackend's in-slot retry — failing the
+// job when the task has exhausted its attempt budget.
+func (d *Dispatcher) requeueOnLoss(ref taskRef, w *workerLink, cause error) {
+	d.requeues.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j := ref.j
+	if j.state != JobRunning || j.emitted[ref.idx] {
+		return
+	}
+	j.attempts[ref.idx]++
+	if j.attempts[ref.idx] >= d.opts.MaxTaskAttempts {
+		d.failJobLocked(j, fmt.Sprintf("fabric: %s failed %d times across worker losses (last worker %s: %v)",
+			j.tasks[ref.idx].Label(), j.attempts[ref.idx], w.name, cause))
+		return
+	}
+	d.opts.Logf("fabric: re-queueing %s after loss of worker %s (attempt %d/%d)",
+		j.tasks[ref.idx].Label(), w.name, j.attempts[ref.idx], d.opts.MaxTaskAttempts)
+	d.queue = append(d.queue, ref)
+	d.cond.Broadcast()
+}
+
+// finishTask records one finished task: caches the outcome, streams it to
+// an attached client, and closes the job when it was the last.
+func (d *Dispatcher) finishTask(ref taskRef, out exp.Outcome, fromCache bool) {
+	if !fromCache && d.opts.Cache != nil {
+		if key, ok := taskCacheKey(ref.j.tasks[ref.idx]); ok {
+			if err := d.opts.Cache.Put(key, out); err != nil {
+				d.opts.Logf("fabric: caching %s: %v", ref.j.tasks[ref.idx].Label(), err)
+			}
+		}
+	}
+	d.mu.Lock()
+	d.finishTaskLocked(ref, out)
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) finishTaskLocked(ref taskRef, out exp.Outcome) {
+	j := ref.j
+	if j.state != JobRunning || j.emitted[ref.idx] {
+		return // late result of a re-queued, canceled or failed task
+	}
+	j.emitted[ref.idx] = true
+	j.done++
+	if j.stream != nil {
+		j.stream <- streamMsg{Index: ref.idx, Out: out}
+	}
+	if j.done == len(j.tasks) {
+		j.state = JobDone
+		close(j.doneCh)
+	}
+}
+
+// failJob moves a job to the failed state (deterministic task error or
+// exhausted retry budget); the attached client, if any, is woken with the
+// error.
+func (d *Dispatcher) failJob(j *job, msg string) {
+	d.mu.Lock()
+	d.failJobLocked(j, msg)
+	d.mu.Unlock()
+}
+
+func (d *Dispatcher) failJobLocked(j *job, msg string) {
+	if j.state != JobRunning {
+		return
+	}
+	j.state = JobFailed
+	j.err = msg
+	close(j.doneCh)
+	d.opts.Logf("fabric: job %s failed: %s", j.id, msg)
+}
+
+// cancelJob moves a job to the canceled state; queued tasks are discarded
+// lazily and in-flight results dropped.
+func (d *Dispatcher) cancelJob(j *job, reason string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if j.state != JobRunning {
+		return
+	}
+	j.state = JobCanceled
+	j.err = "canceled: " + reason
+	close(j.doneCh)
+	d.opts.Logf("fabric: job %s canceled (%s)", j.id, reason)
+}
+
+// submitJob registers a batch as a new job and queues its tasks.
+func (d *Dispatcher) submitJob(req *submitReq) (*job, error) {
+	if len(req.Tasks) == 0 {
+		return nil, fmt.Errorf("fabric: empty task batch")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("fabric: dispatcher is shut down")
+	}
+	d.nextJob++
+	j := &job{
+		id:       fmt.Sprintf("j%d", d.nextJob),
+		name:     req.Name,
+		env:      req.Env,
+		tasks:    req.Tasks,
+		state:    JobRunning,
+		attempts: make([]int, len(req.Tasks)),
+		emitted:  make([]bool, len(req.Tasks)),
+		doneCh:   make(chan struct{}),
+	}
+	if !req.Detach {
+		j.stream = make(chan streamMsg, len(req.Tasks))
+	}
+	d.jobs[j.id] = j
+	d.jobOrder = append(d.jobOrder, j.id)
+	for i := range j.tasks {
+		d.queue = append(d.queue, taskRef{j: j, idx: i})
+	}
+	d.cond.Broadcast()
+	d.opts.Logf("fabric: job %s (%s): %d tasks queued (detach=%t)", j.id, j.name, len(j.tasks), req.Detach)
+	return j, nil
+}
+
+// handleClient serves one client request: submit (attached or detached),
+// list, or cancel.
+func (d *Dispatcher) handleClient(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	reply := func(resp clientResp) bool {
+		if err := wire.WriteFrame(bw, resp); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+	var req clientReq
+	if err := wire.ReadFrame(br, &req); err != nil {
+		return
+	}
+	switch {
+	case req.List:
+		reply(clientResp{Jobs: d.Jobs(), OK: true})
+	case req.Cancel != "":
+		d.mu.Lock()
+		j := d.jobs[req.Cancel]
+		d.mu.Unlock()
+		if j == nil {
+			reply(clientResp{Err: fmt.Sprintf("fabric: unknown job %q", req.Cancel)})
+			return
+		}
+		d.cancelJob(j, "psq cancel")
+		reply(clientResp{OK: true})
+	case req.Submit != nil:
+		d.serveSubmit(conn, br, reply, req.Submit)
+	default:
+		reply(clientResp{Err: "fabric: empty client request"})
+	}
+}
+
+// serveSubmit registers the job and, for attached submissions, streams its
+// results until the job finishes or the client goes away (which cancels
+// the job — an attached client owns its submission).
+func (d *Dispatcher) serveSubmit(conn net.Conn, br *bufio.Reader, reply func(clientResp) bool, req *submitReq) {
+	j, err := d.submitJob(req)
+	if err != nil {
+		reply(clientResp{Err: err.Error()})
+		return
+	}
+	if !reply(clientResp{Submitted: j.id}) {
+		if !req.Detach {
+			d.cancelJob(j, "client disconnected")
+		}
+		return
+	}
+	if req.Detach {
+		return
+	}
+	// Watch for the client hanging up: it sends nothing after the submit,
+	// so any read completion means the connection is gone.
+	connGone := make(chan struct{})
+	go func() {
+		var discard clientReq
+		for {
+			if err := wire.ReadFrame(br, &discard); err != nil {
+				close(connGone)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case m := <-j.stream:
+			if !reply(clientResp{Result: &m}) {
+				d.cancelJob(j, "client disconnected mid-stream")
+				return
+			}
+		case <-j.doneCh:
+			// Drain results that were queued before the terminal state.
+			for {
+				select {
+				case m := <-j.stream:
+					if !reply(clientResp{Result: &m}) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			d.mu.Lock()
+			errMsg := j.err
+			d.mu.Unlock()
+			reply(clientResp{Done: &doneMsg{Err: errMsg}})
+			return
+		case <-connGone:
+			d.cancelJob(j, "client disconnected")
+			return
+		case <-d.closedCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// liveness tracks the last frame seen from each worker connection and
+// decides which workers are dead. It is pure bookkeeping over injected
+// timestamps — the dispatcher feeds it d.now() — so the heartbeat/timeout
+// semantics are unit-testable with a fake clock, independent of real
+// timers: a silent worker expires exactly when now-lastSeen exceeds the
+// timeout, and a slow-but-heartbeating worker never does.
+type liveness struct {
+	timeout time.Duration
+
+	mu   sync.Mutex
+	last map[int64]time.Time
+}
+
+func newLiveness(timeout time.Duration) *liveness {
+	return &liveness{timeout: timeout, last: make(map[int64]time.Time)}
+}
+
+// seen records a frame from worker id at time now. Any frame counts —
+// heartbeat or result — because either proves the process is alive.
+func (l *liveness) seen(id int64, now time.Time) {
+	l.mu.Lock()
+	l.last[id] = now
+	l.mu.Unlock()
+}
+
+// drop forgets a worker (it disconnected or was reaped).
+func (l *liveness) drop(id int64) {
+	l.mu.Lock()
+	delete(l.last, id)
+	l.mu.Unlock()
+}
+
+// expired returns the workers whose last frame is older than the timeout at
+// time now. The caller is expected to reap them (close their connections),
+// which re-queues whatever they had in flight.
+func (l *liveness) expired(now time.Time) []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []int64
+	for id, t := range l.last {
+		if now.Sub(t) > l.timeout {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// tracked reports how many workers are currently tracked.
+func (l *liveness) tracked() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.last)
+}

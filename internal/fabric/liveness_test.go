@@ -1,0 +1,76 @@
+package fabric
+
+// Heartbeat-timeout semantics under a fake clock: liveness is pure
+// bookkeeping over injected timestamps, so the dead/alive decision is
+// tested here with no real timers at all — a silent worker expires exactly
+// when its silence exceeds the timeout, and a worker that keeps sending
+// frames (heartbeats or results, either counts) never does.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLivenessSilentWorkerExpires(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	l := newLiveness(10 * time.Second)
+	l.seen(1, base)
+
+	if got := l.expired(base.Add(10 * time.Second)); len(got) != 0 {
+		t.Fatalf("worker expired at exactly the timeout: %v", got)
+	}
+	got := l.expired(base.Add(10*time.Second + time.Nanosecond))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("silent worker not expired just past the timeout: %v", got)
+	}
+}
+
+func TestLivenessHeartbeatingWorkerSurvives(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	l := newLiveness(10 * time.Second)
+	// A slow-but-alive worker: no results for a minute, but a frame every
+	// 3s. It must never be declared dead.
+	now := base
+	l.seen(1, now)
+	for i := 0; i < 20; i++ {
+		now = now.Add(3 * time.Second)
+		if got := l.expired(now); len(got) != 0 {
+			t.Fatalf("heartbeating worker expired at +%v: %v", now.Sub(base), got)
+		}
+		l.seen(1, now)
+	}
+	// The moment it goes silent, the clock starts: dead after timeout.
+	if got := l.expired(now.Add(11 * time.Second)); len(got) != 1 {
+		t.Fatalf("worker not expired after going silent: %v", got)
+	}
+}
+
+func TestLivenessMixedWorkers(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	l := newLiveness(5 * time.Second)
+	l.seen(1, base) // goes silent
+	l.seen(2, base) // keeps heartbeating
+	l.seen(2, base.Add(4*time.Second))
+	l.seen(2, base.Add(8*time.Second))
+
+	got := l.expired(base.Add(9 * time.Second))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("want only worker 1 expired, got %v", got)
+	}
+	if l.tracked() != 2 {
+		t.Fatalf("tracked = %d, want 2", l.tracked())
+	}
+}
+
+func TestLivenessDropForgets(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	l := newLiveness(time.Second)
+	l.seen(7, base)
+	l.drop(7)
+	if got := l.expired(base.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("dropped worker still expires: %v", got)
+	}
+	if l.tracked() != 0 {
+		t.Fatalf("tracked = %d after drop, want 0", l.tracked())
+	}
+}

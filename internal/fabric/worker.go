@@ -1,0 +1,270 @@
+package fabric
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/wire"
+)
+
+// errHandshakeRefused marks a dispatcher's refusal (version or env drift) —
+// a permanent condition the reconnect loop must not retry into.
+var errHandshakeRefused = errors.New("fabric: dispatcher refused handshake")
+
+// errFaultStop is returned by the fault-injection hooks when a test worker
+// has played its scripted death and must not reconnect.
+var errFaultStop = errors.New("fabric: fault injection: worker stopped")
+
+// Worker is a fabric worker daemon: it dials the dispatcher, handshakes,
+// and executes assigned tasks through exp.ExecuteTask — the same executor
+// every backend runs, which is what keeps fabric output byte-identical to
+// the in-process pool. While connected it heartbeats (including mid-task,
+// so long tasks are not mistaken for death); when the link drops it
+// reconnects with exponential backoff. One Worker serves one task at a
+// time; run several (fabricd -slots) to use more cores.
+type Worker struct {
+	// Dispatcher is the dispatcher's host:port.
+	Dispatcher string
+	// Name identifies this worker in dispatcher logs.
+	Name string
+	// HeartbeatInterval is the idle gap between heartbeat frames; <= 0
+	// means 3s. Keep it well under the dispatcher's HeartbeatTimeout.
+	HeartbeatInterval time.Duration
+	// ReconnectBackoff is the initial redial delay after a failed dial or
+	// dropped session; it doubles per consecutive failure up to
+	// MaxReconnectBackoff. <= 0 means 250ms.
+	ReconnectBackoff time.Duration
+	// MaxReconnectBackoff caps the redial delay; <= 0 means 15s.
+	MaxReconnectBackoff time.Duration
+	// DialTimeout bounds one dial attempt; <= 0 means 5s.
+	DialTimeout time.Duration
+	// Logf receives session events; nil discards them.
+	Logf func(format string, args ...any)
+
+	// Fault-injection hooks, settable only by in-package tests (the CI
+	// gate injects faults the honest way: SIGKILL on a fabricd process).
+	//
+	// dieAfterResults > 0: abruptly close the connection after sending N
+	// results and stop for good — a crash that never comes back.
+	dieAfterResults int
+	// dieAfterAssigns > 0: abruptly close the connection upon *receiving*
+	// the Nth assignment, without answering it, and stop for good — a crash
+	// mid-task, the case that forces the dispatcher to re-queue in-flight
+	// work.
+	dieAfterAssigns int
+	// dropAfterResults > 0: abruptly close the connection after sending N
+	// results each session, but keep the reconnect loop running — a flaky
+	// link that heals.
+	dropAfterResults int
+	// freezeAfterAssigns > 0: upon receiving the Nth assignment, stop
+	// heartbeating and go completely silent (no result, no frames) until
+	// the dispatcher reaps the connection, then stop for good — a process
+	// wedged hard (SIGSTOP, kernel hang).
+	freezeAfterAssigns int
+	// probeOverride, when non-empty, replaces the hello's Env probe — a
+	// worker binary whose seeding/cache-key derivation drifted.
+	probeOverride string
+
+	sessions atomic.Int64
+	served   atomic.Int64
+}
+
+// Sessions reports how many sessions reached a completed handshake —
+// observability for the reconnect tests.
+func (w *Worker) Sessions() int64 { return w.sessions.Load() }
+
+// Served reports how many task results this worker has sent.
+func (w *Worker) Served() int64 { return w.served.Load() }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) heartbeatInterval() time.Duration {
+	if w.HeartbeatInterval > 0 {
+		return w.HeartbeatInterval
+	}
+	return 3 * time.Second
+}
+
+// Run dials, serves and redials until ctx is canceled, the dispatcher
+// refuses the handshake (a permanent condition: version or env drift), or
+// a scripted fault stops the worker. The returned error is nil only for a
+// fault stop; cancellation returns ctx's error.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := w.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	maxBackoff := w.MaxReconnectBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 15 * time.Second
+	}
+	delay := backoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		handshook, err := w.session(ctx)
+		switch {
+		case errors.Is(err, errHandshakeRefused):
+			return err
+		case errors.Is(err, errFaultStop):
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		if handshook {
+			delay = backoff // a healthy session resets the backoff
+		}
+		if err != nil {
+			w.logf("fabric worker %s: session ended: %v (redial in %v)", w.Name, err, delay)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > maxBackoff {
+			delay = maxBackoff
+		}
+	}
+}
+
+// session runs one connection: dial, hello, then serve assignments until
+// the link drops. handshook reports whether the handshake completed, so
+// Run can distinguish "dispatcher not up yet" (keep backing off) from a
+// healthy session that dropped (reset backoff).
+func (w *Worker) session(ctx context.Context) (handshook bool, err error) {
+	dialTimeout := w.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	dialer := net.Dialer{Timeout: dialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", w.Dispatcher)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	// Kill the connection when ctx cancels, so a blocked read unwinds.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var wmu sync.Mutex // bw is shared by the heartbeat goroutine
+
+	probe := w.probeOverride
+	if probe == "" {
+		probe = EnvProbe()
+	}
+	if err := wire.WriteFrame(bw, helloMsg{V: protoVersion, Role: roleWorker, Name: w.Name, Probe: probe}); err != nil {
+		return false, fmt.Errorf("sending hello: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return false, fmt.Errorf("sending hello: %w", err)
+	}
+	var ack helloAck
+	if err := wire.ReadFrame(br, &ack); err != nil {
+		return false, fmt.Errorf("reading hello ack: %w", err)
+	}
+	if !ack.OK {
+		return false, fmt.Errorf("%w: %s", errHandshakeRefused, ack.Err)
+	}
+	w.sessions.Add(1)
+
+	// Heartbeats run for the life of the session — through task execution
+	// too, which is what distinguishes a slow worker from a dead one.
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go func() {
+		t := time.NewTicker(w.heartbeatInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				wmu.Lock()
+				werr := wire.WriteFrame(bw, workerMsg{HB: true})
+				if werr == nil {
+					werr = bw.Flush()
+				}
+				wmu.Unlock()
+				if werr != nil {
+					return // the main read loop will see the dead conn
+				}
+			}
+		}
+	}()
+
+	results, assigns := 0, 0
+	for {
+		var a assignMsg
+		if err := wire.ReadFrame(br, &a); err != nil {
+			return true, fmt.Errorf("reading assignment: %w", err)
+		}
+		assigns++
+		if w.dieAfterAssigns > 0 && assigns >= w.dieAfterAssigns {
+			conn.Close()
+			return true, errFaultStop
+		}
+		if w.freezeAfterAssigns > 0 && assigns >= w.freezeAfterAssigns {
+			// Scripted hard wedge: stop heartbeating, go silent, and wait
+			// for the dispatcher to reap the connection.
+			hbCancel()
+			buf := make([]byte, 1)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return true, errFaultStop
+				}
+			}
+		}
+		out, terr := exp.ExecuteTask(a.Env, a.Task)
+		res := resultMsg{Seq: a.Seq, Out: out}
+		if terr != nil {
+			res.Err = terr.Error()
+		}
+		wmu.Lock()
+		werr := wire.WriteFrame(bw, workerMsg{Result: &res})
+		if werr != nil && res.Err == "" {
+			// Result not representable (e.g. NaN in a field JSON cannot
+			// carry): degrade to a task error, which always marshals.
+			res = resultMsg{Seq: a.Seq, Err: fmt.Sprintf("fabric: %s: un-encodable result: %v", a.Task.Label(), werr)}
+			werr = wire.WriteFrame(bw, workerMsg{Result: &res})
+		}
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		wmu.Unlock()
+		if werr != nil {
+			return true, fmt.Errorf("writing result: %w", werr)
+		}
+		results++
+		w.served.Add(1)
+		if w.dieAfterResults > 0 && results >= w.dieAfterResults {
+			conn.Close()
+			return true, errFaultStop
+		}
+		if w.dropAfterResults > 0 && results >= w.dropAfterResults {
+			conn.Close()
+			return true, fmt.Errorf("fabric: fault injection: dropped connection after %d results", results)
+		}
+	}
+}

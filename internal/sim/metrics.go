@@ -258,4 +258,3 @@ func (m *Metrics) OccupancyProb(i, j int) float64 {
 	}
 	return m.occupancy[[2]int{i, j}] / m.elapsed
 }
-

@@ -123,10 +123,10 @@ type Job struct {
 	hpos    int32
 	qpos    int32
 
-	ID        int
-	Class     Class
-	Arrival   float64
-	Size      float64
+	ID      int
+	Class   Class
+	Arrival float64
+	Size    float64
 }
 
 // Rate returns the job's current service rate s(a).

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := WriteFrame(bw, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	type msg struct {
+		ID   int       `json:"id"`
+		Text string    `json:"text"`
+		Vals []float64 `json:"vals,omitempty"`
+	}
+	cases := []msg{
+		{},
+		{ID: -1},
+		{ID: 42, Text: "hello\nworld\x00é", Vals: []float64{0.1, -3, 1e300}},
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	for _, c := range cases {
+		if err := WriteFrame(bw, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range cases {
+		var got msg
+		if err := ReadFrame(br, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.Text != want.Text || len(got.Vals) != len(want.Vals) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	var extra msg
+	if err := ReadFrame(br, &extra); !errors.Is(err, io.EOF) {
+		t.Fatalf("want clean io.EOF after last frame, got %v", err)
+	}
+}
+
+func TestBadLengths(t *testing.T) {
+	for _, in := range []string{
+		"-1\n{}\n",              // negative
+		"99999999999\n{}\n",     // over MaxFrame
+		"banana\n{}\n",          // not a number
+		"2x\n{}\n",              // trailing junk
+		strings.Repeat("9", 40), // length line way over cap
+	} {
+		var v json.RawMessage
+		err := ReadFrame(bufio.NewReader(strings.NewReader(in)), &v)
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("input %q: want a codec error, got %v", in, err)
+		}
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	full := encode(t, map[string]int{"a": 1})
+	for cut := 1; cut < len(full); cut++ {
+		var v json.RawMessage
+		err := ReadFrame(bufio.NewReader(bytes.NewReader(full[:cut])), &v)
+		if err == nil {
+			t.Fatalf("truncated at %d bytes: want an error", cut)
+		}
+		if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated at %d bytes: clean EOF mid-frame (%v)", cut, err)
+		}
+	}
+}
+
+func TestMissingTrailingNewline(t *testing.T) {
+	var v json.RawMessage
+	err := ReadFrame(bufio.NewReader(strings.NewReader("2\n{}X")), &v)
+	if err == nil || !strings.Contains(err.Error(), "trailing newline") {
+		t.Fatalf("want trailing-newline error, got %v", err)
+	}
+}
+
+// TestNoOverAllocationOnShortStream: a frame header announcing MaxFrame
+// followed by a tiny truncated payload must not allocate the announced
+// size — the buffer grows only as data arrives.
+func TestNoOverAllocationOnShortStream(t *testing.T) {
+	in := []byte("67108864\ntiny")
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var v json.RawMessage
+	err := ReadFrame(bufio.NewReader(bytes.NewReader(in)), &v)
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want io.ErrUnexpectedEOF, got %v", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("reading a 13-byte hostile stream allocated %d bytes (announced length trusted?)", grew)
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	big := strings.Repeat("x", MaxFrame+1)
+	err := WriteFrame(bufio.NewWriter(&buf), big)
+	if err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Fatalf("want MaxFrame error, got %v", err)
+	}
+}

@@ -77,6 +77,58 @@ if ! cmp "$tmp/pool_inc.json" "$tmp/proc_inc.json"; then
 fi
 echo "    incremental pool and proc ResultSets byte-identical ($(wc -c < "$tmp/pool_inc.json") bytes)"
 
+echo "==> networked fabric gate (fabricd dispatcher + 2 worker daemons on loopback)"
+go build -o "$tmp/fabricd" ./cmd/fabricd
+go build -o "$tmp/psq" ./cmd/psq
+"$tmp/fabricd" -role dispatcher -listen 127.0.0.1:0 -addr-file "$tmp/fabric.addr" \
+  >"$tmp/fabricd.log" 2>&1 &
+disp_pid=$!
+for _ in $(seq 1 100); do [ -s "$tmp/fabric.addr" ] && break; sleep 0.1; done
+if [ ! -s "$tmp/fabric.addr" ]; then
+  echo "FAIL: fabricd dispatcher did not publish its address" >&2
+  cat "$tmp/fabricd.log" >&2
+  exit 1
+fi
+addr="$(cat "$tmp/fabric.addr")"
+"$tmp/fabricd" -role worker -dispatcher "$addr" -slots 2 >"$tmp/worker1.log" 2>&1 &
+w1_pid=$!
+"$tmp/fabricd" -role worker -dispatcher "$addr" -slots 2 >"$tmp/worker2.log" 2>&1 &
+w2_pid=$!
+trap 'kill -9 "$disp_pid" "$w1_pid" "$w2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+# The same sweep through the fabric must be byte-identical to the pool run
+# recorded by the dispatch-backend gate above.
+"$tmp/simulate" $sweep_flags -backend fabric -dispatcher "$addr" -json "$tmp/fabric.json" >/dev/null
+if ! cmp "$tmp/pool.json" "$tmp/fabric.json"; then
+  echo "FAIL: ResultSets differ between -backend pool and -backend fabric" >&2
+  exit 1
+fi
+echo "    pool and fabric ResultSets byte-identical ($(wc -c < "$tmp/fabric.json") bytes)"
+# Fault injection, the honest way: SIGKILL one worker daemon while a longer
+# sweep is in flight. The dispatcher re-queues whatever it held; the sweep
+# must complete on the survivor, still byte-identical to the pool.
+kill_flags="-k 2 -rho 0.7 -muI 1,2 -muE 1 -policy IF,EF -reps 2 -warmup 200 -jobs 150000"
+"$tmp/simulate" $kill_flags -backend pool -json "$tmp/pool_kill.json" >/dev/null
+( sleep 0.3; kill -9 "$w1_pid" 2>/dev/null || true ) &
+"$tmp/simulate" $kill_flags -backend fabric -dispatcher "$addr" -json "$tmp/fabric_kill.json" >/dev/null
+wait %% 2>/dev/null || true
+if ! cmp "$tmp/pool_kill.json" "$tmp/fabric_kill.json"; then
+  echo "FAIL: sweep through a SIGKILLed worker differs from the pool" >&2
+  cat "$tmp/fabricd.log" >&2
+  exit 1
+fi
+echo "    sweep survived SIGKILL of a worker daemon, byte-identical ($(wc -c < "$tmp/fabric_kill.json") bytes)"
+# psq smoke: the finished jobs are visible, canceling a bogus id fails.
+"$tmp/psq" -dispatcher "$addr" list | tee "$tmp/psq.out"
+grep -q "done" "$tmp/psq.out" || { echo "FAIL: psq list shows no finished jobs" >&2; exit 1; }
+if "$tmp/psq" -dispatcher "$addr" cancel no-such-job >/dev/null 2>&1; then
+  echo "FAIL: psq cancel of an unknown job succeeded" >&2
+  exit 1
+fi
+kill "$disp_pid" "$w2_pid" 2>/dev/null || true
+
+echo "==> wire-codec fuzz gate (frame codec must reject hostile input without panicking)"
+go test -fuzz=FuzzFrameCodec -fuzztime=10s ./internal/wire
+
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
 
