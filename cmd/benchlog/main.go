@@ -15,11 +15,18 @@
 // migrated in place: the old snapshot becomes the history's first entry.
 // scripts/bench.sh is the intended caller.
 //
+// The BenchmarkEngineEventN* occupancy-scaling family additionally records
+// a derived events_per_sec column (1e9 / ns_per_op; one op is one simulated
+// event).
+//
 // With -check, nothing is appended: the run on stdin is compared against
 // the newest entry already in the history, and the command fails when any
 // benchmark present in both slowed down by more than -threshold (default
-// 10%) in ns/op. Benchmarks new in this run pass trivially; benchmarks
-// that disappeared are ignored. scripts/ci.sh runs this as the BENCH_GATE.
+// 10%) in ns/op — or, for the BenchmarkEngineEventN* family, in
+// events_per_sec. Failure lines include the observed spread across the
+// best-of-N samples on stdin. Benchmarks new in this run pass trivially;
+// benchmarks that disappeared are ignored. scripts/ci.sh runs this as the
+// BENCH_GATE.
 package main
 
 import (
@@ -43,6 +50,19 @@ type Benchmark struct {
 	BytesPerOp *float64 `json:"bytes_per_op"`
 	AllocsOp   *float64 `json:"allocs_per_op"`
 	CompPerSec *float64 `json:"completions_per_sec"`
+	// EventsPerSec is derived (1e9 / ns_per_op) for the BenchmarkEngineEventN*
+	// occupancy-scaling family, where one op is one simulated event — the
+	// events/sec throughput the ROADMAP stretch goal is stated in.
+	EventsPerSec *float64 `json:"events_per_sec,omitempty"`
+	// samples holds every ns/op observation folded into this best-of-N
+	// entry, for spread diagnostics on -check failures. Not recorded.
+	samples []float64
+}
+
+// engineEventFamily marks the occupancy-scaling benchmarks that get the
+// derived events_per_sec column and its -check gate.
+func engineEventFamily(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkEngineEventN")
 }
 
 // Run is one dated benchmark batch.
@@ -84,6 +104,10 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 				b.CompPerSec = &val
 			}
 		}
+		if engineEventFamily(b.Name) && b.NsPerOp != nil && *b.NsPerOp > 0 {
+			eps := 1e9 / *b.NsPerOp
+			b.EventsPerSec = &eps
+		}
 		out = append(out, b)
 	}
 	return dedupeFastest(out), sc.Err()
@@ -96,17 +120,40 @@ func dedupeFastest(in []Benchmark) []Benchmark {
 	byName := make(map[string]int, len(in))
 	var out []Benchmark
 	for _, b := range in {
+		if b.NsPerOp != nil {
+			b.samples = []float64{*b.NsPerOp}
+		}
 		i, seen := byName[b.Name]
 		if !seen {
 			byName[b.Name] = len(out)
 			out = append(out, b)
 			continue
 		}
+		samples := append(out[i].samples, b.samples...)
 		if b.NsPerOp != nil && (out[i].NsPerOp == nil || *b.NsPerOp < *out[i].NsPerOp) {
 			out[i] = b
 		}
+		out[i].samples = samples
 	}
 	return out
+}
+
+// spread renders the observed ns/op samples behind a best-of-N entry, so a
+// gate trip on a noisy shared box is diagnosable from the CI log alone.
+func spread(samples []float64) string {
+	if len(samples) < 2 {
+		return ""
+	}
+	lo, hi := samples[0], samples[0]
+	for _, v := range samples[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return fmt.Sprintf(" [observed %.1f..%.1f ns/op across %d samples]", lo, hi, len(samples))
 }
 
 // load reads the existing history, migrating the legacy single-snapshot
@@ -144,28 +191,35 @@ func validRuns(runs []Run) bool {
 
 // check compares the current run against the newest recorded entry and
 // returns one line per regression beyond threshold (e.g. 0.10 for 10%).
-// Only ns/op is gated: B/op and allocs/op are pinned exactly by the test
-// suite, and completions/sec is derived from ns/op. Benchmarks missing
-// from either side are skipped — renames and additions must not brick CI.
+// ns/op is gated everywhere; events_per_sec is additionally gated for the
+// BenchmarkEngineEventN* family so the N-scaling benchmarks participate in
+// the regression gate in the unit the ROADMAP goal is stated in. B/op and
+// allocs/op are pinned exactly by the test suite, and completions/sec is
+// derived from ns/op. Benchmarks missing from either side are skipped —
+// renames and additions must not brick CI. Failure lines carry the observed
+// best-of-N spread so a noisy-box trip is diagnosable from the log.
 func check(last Run, cur []Benchmark, threshold float64) []string {
-	prev := make(map[string]float64, len(last.Benchmarks))
+	prev := make(map[string]Benchmark, len(last.Benchmarks))
 	for _, b := range last.Benchmarks {
-		if b.NsPerOp != nil {
-			prev[b.Name] = *b.NsPerOp
-		}
+		prev[b.Name] = b
 	}
 	var bad []string
 	for _, b := range cur {
-		if b.NsPerOp == nil {
-			continue
-		}
 		base, ok := prev[b.Name]
-		if !ok || base <= 0 {
+		if !ok {
 			continue
 		}
-		if ratio := *b.NsPerOp / base; ratio > 1+threshold {
-			bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs %.1f recorded on %s (%+.1f%%, threshold %+.0f%%)",
-				b.Name, *b.NsPerOp, base, last.Date, (ratio-1)*100, threshold*100))
+		if b.NsPerOp != nil && base.NsPerOp != nil && *base.NsPerOp > 0 {
+			if ratio := *b.NsPerOp / *base.NsPerOp; ratio > 1+threshold {
+				bad = append(bad, fmt.Sprintf("%s: %.1f ns/op vs %.1f recorded on %s (%+.1f%%, threshold %+.0f%%)%s",
+					b.Name, *b.NsPerOp, *base.NsPerOp, last.Date, (ratio-1)*100, threshold*100, spread(b.samples)))
+			}
+		}
+		if b.EventsPerSec != nil && base.EventsPerSec != nil && *b.EventsPerSec > 0 {
+			if ratio := *base.EventsPerSec / *b.EventsPerSec; ratio > 1+threshold {
+				bad = append(bad, fmt.Sprintf("%s: %.0f events/sec vs %.0f recorded on %s (-%.1f%%, threshold %.0f%%)%s",
+					b.Name, *b.EventsPerSec, *base.EventsPerSec, last.Date, (1-1/ratio)*100, threshold*100, spread(b.samples)))
+			}
 		}
 	}
 	return bad

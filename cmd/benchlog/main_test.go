@@ -58,6 +58,61 @@ BenchmarkA-8   10   250.0 ns/op
 	}
 }
 
+func TestParseBenchDerivesEventsPerSec(t *testing.T) {
+	in := strings.NewReader(`BenchmarkEngineEventN10k/incremental-8   1000000   400.0 ns/op
+BenchmarkEngineEvent-8   1000000   400.0 ns/op
+`)
+	benches, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("got %d benchmarks", len(benches))
+	}
+	if benches[0].EventsPerSec == nil || *benches[0].EventsPerSec != 2.5e6 {
+		t.Fatalf("N-family entry missing events_per_sec: %+v", benches[0])
+	}
+	if benches[1].EventsPerSec != nil {
+		t.Fatalf("n=1 family must not carry events_per_sec: %+v", benches[1])
+	}
+}
+
+func TestCheckGatesEventsPerSec(t *testing.T) {
+	last := Run{Date: "d", Benchmarks: []Benchmark{
+		{Name: "BenchmarkEngineEventN10k/incremental", EventsPerSec: f(2.5e6)},
+	}}
+	cur := []Benchmark{
+		{Name: "BenchmarkEngineEventN10k/incremental", EventsPerSec: f(2.0e6)}, // -20%
+	}
+	bad := check(last, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "events/sec") {
+		t.Fatalf("want one events/sec regression, got %v", bad)
+	}
+	cur[0].EventsPerSec = f(2.4e6) // -4%: inside threshold
+	if bad := check(last, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("want no regressions, got %v", bad)
+	}
+}
+
+func TestCheckFailurePrintsSpread(t *testing.T) {
+	in := strings.NewReader(`BenchmarkA-8   10   300.0 ns/op
+BenchmarkA-8   10   200.0 ns/op
+BenchmarkA-8   10   250.0 ns/op
+`)
+	benches, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := Run{Date: "d", Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: f(100)}}}
+	bad := check(last, benches, 0.10)
+	if len(bad) != 1 {
+		t.Fatalf("want one regression, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "200.0..300.0") || !strings.Contains(bad[0], "3 samples") {
+		t.Fatalf("regression line missing observed spread: %q", bad[0])
+	}
+}
+
 func TestParseBenchReadsMemStats(t *testing.T) {
 	in := strings.NewReader(`goos: linux
 BenchmarkEngineEventN10/incremental-8   	 1000000	       500.0 ns/op	       4 B/op	       0 allocs/op

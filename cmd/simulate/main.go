@@ -24,7 +24,10 @@
 // and per class; -quantiles widens that to any quantile set. -engine
 // incremental opts into O(changed·log n) stepping for near-saturation
 // sweeps with many resident jobs (deterministic, own golden set; the
-// default rebuild engine stays bit-frozen).
+// default rebuild engine stays bit-frozen). -cpuprofile/-memprofile/
+// -mutexprofile write go-tool-pprof-loadable profiles of the sweep
+// (profile.go), the same wiring `scripts/bench.sh profile` uses for the
+// benchmark hot path.
 package main
 
 import (
@@ -104,11 +107,15 @@ func main() {
 		cache    = flag.String("cache", "", "JSONL result cache; completed cells are reused across runs")
 		csvPath  = flag.String("csv", "", "also write the result table as CSV to this file")
 		jsonPath = flag.String("json", "", "also write the full result set (per-replication detail) as JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile of the sweep to this file")
+		mtxProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
 	}
+	defer startProfiling(*cpuProf, *memProf, *mtxProf)()
 	if *reps < 1 {
 		log.Fatalf("-reps must be >= 1 (got %d)", *reps)
 	}

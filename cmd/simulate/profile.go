@@ -1,0 +1,58 @@
+package main
+
+// pprof wiring for the simulate CLI: -cpuprofile / -memprofile /
+// -mutexprofile mirror `go test`'s flags so a production-shaped sweep can
+// be profiled directly, without reshaping it into a benchmark. The
+// profiles are written with the standard runtime/pprof encoders and load
+// in `go tool pprof` as-is.
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiling starts the requested profilers and returns a stop
+// function to defer: it stops the CPU profile and writes the heap and
+// mutex profiles at exit. Empty paths disable the corresponding profile.
+func startProfiling(cpuPath, memPath, mutexPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			runtime.GC() // flush recent frees so the heap profile is settled
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("-memprofile: %v", err)
+			}
+			f.Close()
+		}
+		if mutexPath != "" {
+			f, err := os.Create(mutexPath)
+			if err != nil {
+				log.Fatalf("-mutexprofile: %v", err)
+			}
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				log.Fatalf("-mutexprofile: %v", err)
+			}
+			f.Close()
+		}
+	}
+}

@@ -66,6 +66,43 @@ var (
 	_ sim.RemainingOrderedPolicy = (*SRPTK)(nil)
 )
 
+// The strict class-priority family additionally implements
+// sim.ArrivalShadowPolicy: its walk order is a function of the class set
+// alone (never of arrival times or sizes), so "would a tail arrival to
+// class c receive anything" reduces to comparing c's walk position against
+// the position where the previous walk's budget ran out. FCFS, THRESH and
+// DEFER are deliberately excluded — their walks depend on arrival-time
+// ties or on which classes are occupied, which a single walk position
+// cannot summarize soundly.
+var (
+	_ sim.ArrivalShadowPolicy = InelasticFirst{}
+	_ sim.ArrivalShadowPolicy = ElasticFirst{}
+	_ sim.ArrivalShadowPolicy = ClassPriority{}
+	_ sim.ArrivalShadowPolicy = (*LeastFlexibleFirst)(nil)
+	_ sim.ArrivalShadowPolicy = (*SmallestMeanFirst)(nil)
+	_ sim.ArrivalShadowPolicy = Greedy{}
+)
+
+// orderShadowed is the shared shadow test for order-walk policies: a new
+// class-c job joins the tail of its class queue, so the walk reaches it
+// after every job the previous walk served at positions < exhaustedAt and
+// after class c's existing jobs at position orderPos. If the budget died at
+// or before c's walk position, the walk dies at the same job it died at
+// before (nothing earlier changed), and the arrival provably receives
+// nothing. Classes absent from a non-nil order are never served, so
+// arrivals to them are always shadowed.
+func orderShadowed(exhaustedAt int, c sim.Class, order []int) bool {
+	if order == nil {
+		return exhaustedAt <= int(c)
+	}
+	for i, o := range order {
+		if o == int(c) {
+			return exhaustedAt <= i
+		}
+	}
+	return true
+}
+
 // priorityAllocate walks classes in the given order (nil means ascending
 // class index), giving each job in FCFS order up to its class's saturation
 // cap until the servers run out. Order entries outside the class set are
@@ -136,6 +173,7 @@ func priorityAllocateSparse(st *sim.State, ws *sim.ShareSet, order []int) {
 		capC := st.Classes[c].Cap()
 		for _, j := range st.Queues[c] {
 			if remaining <= 0 {
+				ws.MarkExhausted(i)
 				return
 			}
 			a := capC
@@ -175,6 +213,11 @@ func (p ClassPriority) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 	priorityAllocateSparse(st, ws, p.Order)
 }
 
+// ArrivalShadowed implements sim.ArrivalShadowPolicy.
+func (p ClassPriority) ArrivalShadowed(_ *sim.State, exhaustedAt int, c sim.Class) bool {
+	return orderShadowed(exhaustedAt, c, p.Order)
+}
+
 // InelasticFirst is the IF policy: strict class priority by ascending class
 // index. On the two-class preset, in state (i, j) with i < k each inelastic
 // job receives one server and the earliest-arriving elastic job receives the
@@ -192,6 +235,11 @@ func (InelasticFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
 // AllocateSparse implements sim.SparsePolicy.
 func (InelasticFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 	priorityAllocateSparse(st, ws, nil)
+}
+
+// ArrivalShadowed implements sim.ArrivalShadowPolicy.
+func (InelasticFirst) ArrivalShadowed(_ *sim.State, exhaustedAt int, c sim.Class) bool {
+	return orderShadowed(exhaustedAt, c, nil)
 }
 
 // ElasticFirst is the EF policy: strict class priority by descending class
@@ -229,6 +277,8 @@ func (ElasticFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 		capC := st.Classes[c].Cap()
 		for _, j := range st.Queues[c] {
 			if remaining <= 0 {
+				// Walk position: classes in descending index order.
+				ws.MarkExhausted(len(st.Queues) - 1 - c)
 				return
 			}
 			a := capC
@@ -239,6 +289,12 @@ func (ElasticFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 			remaining -= a
 		}
 	}
+}
+
+// ArrivalShadowed implements sim.ArrivalShadowPolicy: EF's walk position of
+// class c is its rank in descending index order.
+func (ElasticFirst) ArrivalShadowed(st *sim.State, exhaustedAt int, c sim.Class) bool {
+	return exhaustedAt <= len(st.Queues)-1-int(c)
 }
 
 // classOrder caches a derived class ordering so that it is computed once per
@@ -296,6 +352,12 @@ func (p *LeastFlexibleFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 	priorityAllocateSparse(st, ws, order)
 }
 
+// ArrivalShadowed implements sim.ArrivalShadowPolicy.
+func (p *LeastFlexibleFirst) ArrivalShadowed(st *sim.State, exhaustedAt int, c sim.Class) bool {
+	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return a.Cap() < b.Cap() })
+	return orderShadowed(exhaustedAt, c, order)
+}
+
 // SmallestMeanFirst prioritizes classes by ascending mean job size — the
 // natural generalization of "give priority to the smaller class" suggested
 // by Theorems 1 and 5. Classes should carry a Size distribution (the sweep
@@ -326,6 +388,12 @@ func (p *SmallestMeanFirst) Allocate(st *sim.State, alloc *sim.Allocation) {
 func (p *SmallestMeanFirst) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return meanSize(a) < meanSize(b) })
 	priorityAllocateSparse(st, ws, order)
+}
+
+// ArrivalShadowed implements sim.ArrivalShadowPolicy.
+func (p *SmallestMeanFirst) ArrivalShadowed(st *sim.State, exhaustedAt int, c sim.Class) bool {
+	order := p.co.get(st.Classes, func(a, b sim.ClassSpec) bool { return meanSize(a) < meanSize(b) })
+	return orderShadowed(exhaustedAt, c, order)
 }
 
 // FCFS serves jobs of every class in one global first-come-first-serve
@@ -599,6 +667,14 @@ func (g Greedy) AllocateSparse(st *sim.State, ws *sim.ShareSet) {
 		return
 	}
 	ElasticFirst{}.AllocateSparse(st, ws)
+}
+
+// ArrivalShadowed implements sim.ArrivalShadowPolicy.
+func (g Greedy) ArrivalShadowed(st *sim.State, exhaustedAt int, c sim.Class) bool {
+	if g.MuI >= g.MuE {
+		return InelasticFirst{}.ArrivalShadowed(st, exhaustedAt, c)
+	}
+	return ElasticFirst{}.ArrivalShadowed(st, exhaustedAt, c)
 }
 
 // Threshold interpolates between EF and IF on the two-class preset: when

@@ -26,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // ClassSharePolicy is an optional Policy extension for policies whose
@@ -41,96 +42,276 @@ type ClassSharePolicy interface {
 	ClassShares(st *State, shares []float64)
 }
 
-// vtargetHeap is a per-class binary min-heap of jobs keyed (vtarget, ID).
-// vtarget is fixed at arrival, so the heap needs no decrease-key: push on
-// arrival, pop on completion.
-type vtargetHeap struct {
-	jobs []*Job
+// vtargetEntry is one inline vtarget-heap key: the job's completion
+// coordinate and identity copied out of the Job struct, plus its arena
+// handle. Comparisons touch only the heap's own contiguous memory — no
+// pointer chase into the job working set, which profiles showed dominating
+// the EQUI event cost at high occupancy.
+type vtargetEntry struct {
+	vtarget float64
+	id      int64
+	h       jobHandle
+	_       int32
 }
 
-func vtargetLess(a, b *Job) bool {
+func vtargetEntryLess(a, b *vtargetEntry) bool {
 	if a.vtarget != b.vtarget {
 		return a.vtarget < b.vtarget
 	}
-	return a.ID < b.ID
+	return a.id < b.id
 }
 
-func (h *vtargetHeap) len() int { return len(h.jobs) }
+// vtargetPQ is a per-class monotone priority queue (a radix heap) keyed
+// (vtarget, ID). It exploits the one property a comparison heap cannot: the
+// pop sequence is monotone. Completions consume ascending vtargets, and an
+// arrival's vtarget = vwork + Size always lands at or above the coordinate,
+// so keys never need to sort below the last popped minimum. Entries bucket
+// by the most significant bit at which the key's float64 pattern differs
+// from the reference key `last` (positive float64 bit patterns are
+// order-isomorphic to their values). Push is O(1); pop re-buckets the
+// lowest nonempty bucket only when bucket 0 drains, and every re-bucketed
+// entry falls to a strictly lower bucket, so pops are O(1) amortized. A
+// comparison heap at n = 10k is ~7 dependent cache misses per pop; the
+// radix heap's bursts are sequential appends.
+//
+// The pop sequence is the unique (vtarget, ID) ascending order — ties
+// resolved by a full-key scan of bucket 0 — so the internal layout is
+// bit-invisible to the engine, exactly like the binary heap it replaces.
+//
+// One float edge: completion settles vwork to the head's vtarget only up to
+// rounding, so the next arrival's key can land one ulp below `last`. Such
+// keys go straight to bucket 0, which never re-buckets and is ordered with
+// full-key compares, so ordering stays exact.
+//
+// Bucket 0 is kept as a small binary min-heap ordered (vtarget, ID) rather
+// than an unordered pile: pushes and pops cost O(log |bucket 0|) sifts over
+// hot contiguous memory and the minimum is always the root — no linear
+// rescan after a pop, which profiling showed dominating the EQUI event cost
+// at high occupancy (every completion pops, and every pop used to force a
+// full bucket-0 scan).
+const vtBuckets = 65 // bucket 0 (key <= last) + one per possible differing MSB
 
-func (h *vtargetHeap) peek() *Job {
-	if len(h.jobs) == 0 {
-		return nil
-	}
-	return h.jobs[0]
+type vtargetPQ struct {
+	bucket [vtBuckets][]vtargetEntry
+	occ    uint64 // bit b-1 set iff bucket[b] nonempty (buckets 1..64)
+	last   uint64 // reference key: bit pattern of the last popped minimum
+	size   int
 }
 
-func (h *vtargetHeap) push(j *Job) {
-	h.jobs = append(h.jobs, j)
-	i := len(h.jobs) - 1
+func (q *vtargetPQ) len() int { return q.size }
+
+// b0up restores the bucket-0 heap invariant after an append at index i.
+func (q *vtargetPQ) b0up(i int) {
+	b0 := q.bucket[0]
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !vtargetLess(h.jobs[i], h.jobs[parent]) {
-			break
+		if !vtargetEntryLess(&b0[i], &b0[parent]) {
+			return
 		}
-		h.jobs[i], h.jobs[parent] = h.jobs[parent], h.jobs[i]
+		b0[i], b0[parent] = b0[parent], b0[i]
 		i = parent
 	}
 }
 
-func (h *vtargetHeap) pop() *Job {
-	top := h.jobs[0]
-	last := len(h.jobs) - 1
-	h.jobs[0] = h.jobs[last]
-	h.jobs[last] = nil
-	h.jobs = h.jobs[:last]
-	n := last
+// b0down restores the bucket-0 heap invariant after the root was replaced.
+func (q *vtargetPQ) b0down() {
+	b0 := q.bucket[0]
+	n := len(b0)
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && vtargetLess(h.jobs[l], h.jobs[smallest]) {
+		if l < n && vtargetEntryLess(&b0[l], &b0[smallest]) {
 			smallest = l
 		}
-		if r < n && vtargetLess(h.jobs[r], h.jobs[smallest]) {
+		if r < n && vtargetEntryLess(&b0[r], &b0[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
-			return top
+			return
 		}
-		h.jobs[i], h.jobs[smallest] = h.jobs[smallest], h.jobs[i]
+		b0[i], b0[smallest] = b0[smallest], b0[i]
 		i = smallest
 	}
 }
 
-// classShareState is the engine-side state of the class-share path.
+func (q *vtargetPQ) bucketOf(k uint64) int {
+	if k <= q.last {
+		return 0
+	}
+	return bits.Len64(k ^ q.last)
+}
+
+func (q *vtargetPQ) push(e vtargetEntry) {
+	i := q.bucketOf(math.Float64bits(e.vtarget))
+	q.bucket[i] = append(q.bucket[i], e)
+	if i == 0 {
+		q.b0up(len(q.bucket[0]) - 1)
+	} else {
+		q.occ |= 1 << (i - 1)
+	}
+	q.size++
+}
+
+// settleMin refills a drained bucket 0: adopt the lowest nonempty bucket's
+// minimum key as the new reference and re-bucket that bucket's entries
+// (each falls strictly lower; at least the minimum lands in bucket 0, heap-
+// pushed so bucket 0 stays ordered).
+func (q *vtargetPQ) settleMin() {
+	b := bits.TrailingZeros64(q.occ) + 1
+	src := q.bucket[b]
+	// The new reference only needs the minimum KEY — entries tying on
+	// vtarget all fall into bucket 0 regardless of ID, where the heap
+	// order resolves the (vtarget, ID) ties — so this pass is a pure float
+	// min with no tie-break branches.
+	mv := src[0].vtarget
+	for i := 1; i < len(src); i++ {
+		if src[i].vtarget < mv {
+			mv = src[i].vtarget
+		}
+	}
+	q.last = math.Float64bits(mv)
+	q.bucket[b] = nil // self-append guard; restored below
+	q.occ &^= 1 << (b - 1)
+	for i := range src {
+		k := math.Float64bits(src[i].vtarget)
+		if k <= q.last {
+			q.bucket[0] = append(q.bucket[0], src[i])
+			q.b0up(len(q.bucket[0]) - 1)
+			continue
+		}
+		j := bits.Len64(k ^ q.last)
+		q.bucket[j] = append(q.bucket[j], src[i])
+		q.occ |= 1 << (j - 1)
+	}
+	q.bucket[b] = src[:0]
+}
+
+// peek returns the minimum entry, or nil when empty. The pointer is only
+// valid until the next push/pop.
+func (q *vtargetPQ) peek() *vtargetEntry {
+	if q.size == 0 {
+		return nil
+	}
+	if len(q.bucket[0]) == 0 {
+		q.settleMin()
+	}
+	return &q.bucket[0][0]
+}
+
+func (q *vtargetPQ) pop() vtargetEntry {
+	if len(q.bucket[0]) == 0 {
+		q.settleMin()
+	}
+	b0 := q.bucket[0]
+	e := b0[0]
+	last := len(b0) - 1
+	b0[0] = b0[last]
+	q.bucket[0] = b0[:last]
+	if last > 1 {
+		q.b0down()
+	}
+	q.size--
+	if q.size == 0 {
+		// The class is about to renormalize vwork to zero; reset the
+		// reference so post-renormalization keys stay well above it.
+		q.last = 0
+	}
+	return e
+}
+
+// classShareState is the engine-side state of the class-share path. It
+// needs no future-event queue: at most one completion per class is ever in
+// sight (the class head), so the armed head times live in the flat nextT
+// array and the next event is the minimum over the classes — O(#classes)
+// to peek, nothing to sift, push or stale.
 type classShareState struct {
 	policy ClassSharePolicy
 	// shares[c] is the current per-job share of class c; rate[c] the
 	// resulting per-job service rate; vwork[c] the virtual-time coordinate;
-	// heads[c] the job whose completion event is currently armed (nil when
-	// none is).
+	// heads[c] the handle of the job whose completion event is currently
+	// armed (-1 when none is); nextT[c] that job's armed absolute
+	// completion time (+Inf when none is armed).
 	shares []float64
 	rate   []float64
 	vwork  []float64
-	heads  []*Job
-	vq     []vtargetHeap
+	heads  []jobHandle
+	nextT  []float64
+	vq     []vtargetPQ
+	// maxRate[c] bounds the per-job service rate of class c over every
+	// feasible allocation — the deferSafe margin.
+	maxRate []float64
 }
 
-func newClassShareState(p ClassSharePolicy, numClasses int) *classShareState {
-	return &classShareState{
-		policy: p,
-		shares: make([]float64, numClasses),
-		rate:   make([]float64, numClasses),
-		vwork:  make([]float64, numClasses),
-		heads:  make([]*Job, numClasses),
-		vq:     make([]vtargetHeap, numClasses),
+func newClassShareState(p ClassSharePolicy, s *System) *classShareState {
+	numClasses := len(s.classes)
+	cs := &classShareState{
+		policy:  p,
+		shares:  make([]float64, numClasses),
+		rate:    make([]float64, numClasses),
+		vwork:   make([]float64, numClasses),
+		heads:   make([]jobHandle, numClasses),
+		nextT:   make([]float64, numClasses),
+		vq:      make([]vtargetPQ, numClasses),
+		maxRate: make([]float64, numClasses),
 	}
+	for c := range cs.heads {
+		cs.heads[c] = -1
+		cs.nextT[c] = math.Inf(1)
+		// A per-job share never exceeds min(cap, k); speedups are monotone,
+		// so the rate at that share bounds every feasible rate.
+		mr := min(s.caps[c], float64(s.k))
+		if !s.idRate[c] {
+			mr = s.classes[c].Speedup.Rate(mr)
+		}
+		cs.maxRate[c] = mr
+	}
+	return cs
+}
+
+// peekNext returns the earliest armed head completion, or (nil, +Inf) when
+// no class is being served. Exact time ties resolve to the lowest class
+// index.
+func (cs *classShareState) peekNext(s *System) (*Job, float64) {
+	best := -1
+	bt := math.Inf(1)
+	for c, t := range cs.nextT {
+		if t < bt {
+			best, bt = c, t
+		}
+	}
+	if best < 0 {
+		return nil, bt
+	}
+	return s.jobs.at(cs.heads[best]), bt
+}
+
+// deferSafe reports whether the policy refresh owed after a completion
+// batch can wait for the next stepping call. It can unless some surviving
+// class head sits so close to its completion coordinate that a re-derived
+// share vector could complete it at the current instant (vtarget already
+// reached, or near enough that clock + remaining/rate could round to
+// clock): then the refresh must run now so the completion lands inside the
+// current AdvanceTo, exactly as the eager engine and the rebuild engine
+// would have it.
+func (cs *classShareState) deferSafe(s *System) bool {
+	ulp := math.Nextafter(s.clock, math.Inf(1)) - s.clock
+	for c := range cs.vq {
+		if cs.vq[c].len() == 0 {
+			continue
+		}
+		head := cs.vq[c].peek()
+		if head.vtarget-cs.vwork[c] <= 2*ulp*cs.maxRate[c] {
+			return false
+		}
+	}
+	return true
 }
 
 // arrive registers a new job: its completion coordinate is fixed forever.
 func (cs *classShareState) arrive(s *System, j *Job) {
 	j.vtarget = cs.vwork[j.Class] + j.Size
-	cs.vq[j.Class].push(j)
+	cs.vq[j.Class].push(vtargetEntry{vtarget: j.vtarget, id: int64(j.ID), h: j.handle})
 }
 
 // remaining derives a live job's exact remaining work at the current
@@ -165,7 +346,6 @@ func (cs *classShareState) refresh(s *System) {
 	total := 0.0
 	for c := range s.queues {
 		n := len(s.queues[c])
-		spec := &s.classes[c]
 		if n == 0 {
 			cs.shares[c] = 0
 			cs.rate[c] = 0
@@ -173,44 +353,41 @@ func (cs *classShareState) refresh(s *System) {
 			continue
 		}
 		a := cs.shares[c]
-		capC := spec.Cap()
+		capC := s.caps[c]
 		if a < -eps || a > capC+eps {
 			panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
-				s.policy.Name(), a, spec.Speedup, capC))
+				s.policy.Name(), a, s.classes[c].Speedup, capC))
 		}
 		a = clamp(a, 0, capC)
 		cs.shares[c] = a
 		rate := a
-		if spec.Speedup.kind != speedupLinear && spec.Speedup.kind != speedupCapped {
-			rate = spec.Speedup.Rate(a)
+		if !s.idRate[c] {
+			rate = s.classes[c].Speedup.Rate(a)
 		}
 		total += float64(n) * a
 		s.incRate[c] = float64(n) * rate
 		head := cs.vq[c].peek()
-		if rate != cs.rate[c] || head != cs.heads[c] {
-			// Re-anchor this class's one completion event. The old head's
-			// entry (if any) goes stale via its generation bump; an event is
-			// queued only while the class is actually being served.
-			if old := cs.heads[c]; old != nil && old != head {
-				old.gen++
-			}
+		if rate != cs.rate[c] || head.h != cs.heads[c] {
+			// Re-anchor this class's one completion time in place; a time is
+			// armed only while the class is actually being served.
 			cs.rate[c] = rate
-			head.gen++
+			cs.heads[c] = head.h
 			if rate > 0 {
 				t := s.clock + (head.vtarget-cs.vwork[c])/rate
 				if t < s.clock {
 					t = s.clock
 				}
-				s.evq.PushGen(t, head, head.gen)
+				cs.nextT[c] = t
+			} else {
+				cs.nextT[c] = math.Inf(1)
 			}
-			cs.heads[c] = head
 		}
 	}
 	if total > float64(s.k)+1e-6 {
 		panic(fmt.Sprintf("sim: policy %s allocated %v servers on a %d-server system", s.policy.Name(), total, s.k))
 	}
 	s.incTotal = total
-	s.metrics.busyRate = math.Min(total, float64(s.k))
+	s.metrics.busyRate = min(total, float64(s.k))
 }
 
 // complete finishes head job j: pop it, settle its floating-point residual
@@ -218,14 +395,15 @@ func (cs *classShareState) refresh(s *System) {
 // shrink the class aggregates by one job's worth.
 func (cs *classShareState) complete(s *System, j *Job) {
 	c := j.Class
-	if cs.vq[c].peek() != j {
+	if top := cs.vq[c].peek(); top == nil || top.h != j.handle {
 		panic("sim: class-share completion is not the class head")
 	}
 	cs.vq[c].pop()
 	j.Remaining = cs.remaining(j)
 	s.incTotal -= cs.shares[c]
 	s.incRate[c] -= cs.rate[c]
-	cs.heads[c] = nil
+	cs.heads[c] = -1
+	cs.nextT[c] = math.Inf(1)
 	if cs.vq[c].len() == 0 {
 		// Renormalize the empty class's coordinate so vwork dust cannot
 		// accumulate across busy periods; no live vtarget references it.

@@ -258,6 +258,46 @@ func TestSteadyStateAllocsIncremental(t *testing.T) {
 			t.Fatalf("incremental multi-class stepping allocates %.3f/event, want <= 1", got)
 		}
 	})
+	// Arena path at held occupancy: with n jobs permanently resident the
+	// slab allocator recycles one slot per event and every internal buffer
+	// (indexed event queue, vtarget heaps, write sets) has reached its
+	// steady-state footprint — stepping must be allocation-free no matter
+	// how large the resident set is. n spans the cache-resident and the
+	// arena-spanning (multiple 512-job chunks) regimes.
+	for _, n := range []int{100, 10_000} {
+		for _, tc := range []struct {
+			name string
+			pol  sim.Policy
+		}{
+			{"IF", policy.InelasticFirst{}},
+			{"EQUI", policy.Equi{}},
+			{"SRPT", &policy.SRPTK{}},
+		} {
+			t.Run(fmt.Sprintf("arena-n%d-%s", n, tc.name), func(t *testing.T) {
+				sys := sim.NewClassSystemOpts(4, sim.TwoClassSpecs(), tc.pol, sim.Options{Engine: sim.EngineIncremental})
+				rng := xrand.NewStream(7, 1)
+				for i := 0; i < n; i++ {
+					sys.Arrive(sim.Arrival{Time: 0, Class: sim.Inelastic, Size: rng.Exp(1)})
+				}
+				step := func() {
+					tc := sys.NextEventTime()
+					sys.AdvanceTo(tc)
+					sys.Arrive(sim.Arrival{Time: tc, Class: sim.Inelastic, Size: rng.Exp(1)})
+				}
+				for i := 0; i < 1000; i++ {
+					step() // warm the free list, heap backing and queue windows
+				}
+				// Each round is one completion plus one arrival; 0.05 leaves
+				// headroom for a rare internal-buffer regrowth, nothing more.
+				if got := testing.AllocsPerRun(2000, step); got > 0.05 {
+					t.Fatalf("arena path at n=%d allocates %.4f/round under %s, want 0", n, got, tc.pol.Name())
+				}
+				if sys.NumJobs() != n {
+					t.Fatalf("occupancy drifted: %d != %d", sys.NumJobs(), n)
+				}
+			})
+		}
+	}
 }
 
 // TestSteadyStateBytesIncremental pins the incremental engine's steady-state
@@ -302,6 +342,52 @@ func TestSteadyStateBytesIncremental(t *testing.T) {
 				t.Fatalf("incremental steady-state stepping allocates %.1f B/event under %s, want <= %g", perEvent, tc.pol.Name(), bound)
 			}
 		})
+	}
+	// Arena path at held occupancy — the byte-rate analogue of the
+	// arena-n* sub-tests in TestSteadyStateAllocsIncremental: the slab
+	// never grows once n slots exist, so the steady-state byte rate must
+	// stay bounded even with 10k jobs (20 chunks) resident. EQUI's bound
+	// is looser: the radix heap's bucket arrays keep amortized-regrowing
+	// as virtual time drifts through float exponent ranges (~100 B/round
+	// measured at n=10k, spiky) — the pin is against anything resembling
+	// per-event O(n) reallocation, which would be ~240 KB/round here.
+	for _, n := range []int{100, 10_000} {
+		for _, tc := range []struct {
+			name  string
+			pol   sim.Policy
+			bound float64
+		}{
+			{"IF", policy.InelasticFirst{}, bound},
+			{"EQUI", policy.Equi{}, 320},
+		} {
+			t.Run(fmt.Sprintf("arena-n%d-%s", n, tc.name), func(t *testing.T) {
+				sys := sim.NewClassSystemOpts(4, sim.TwoClassSpecs(), tc.pol, sim.Options{Engine: sim.EngineIncremental})
+				rng := xrand.NewStream(7, 1)
+				for i := 0; i < n; i++ {
+					sys.Arrive(sim.Arrival{Time: 0, Class: sim.Inelastic, Size: rng.Exp(1)})
+				}
+				step := func() {
+					tc := sys.NextEventTime()
+					sys.AdvanceTo(tc)
+					sys.Arrive(sim.Arrival{Time: tc, Class: sim.Inelastic, Size: rng.Exp(1)})
+				}
+				for i := 0; i < 5000; i++ {
+					step()
+				}
+				defer debug.SetGCPercent(debug.SetGCPercent(-1))
+				const rounds = 20_000
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				for i := 0; i < rounds; i++ {
+					step()
+				}
+				runtime.ReadMemStats(&after)
+				perRound := float64(after.TotalAlloc-before.TotalAlloc) / rounds
+				if perRound > tc.bound {
+					t.Fatalf("arena path at n=%d allocates %.1f B/round under %s, want <= %g", n, perRound, tc.pol.Name(), tc.bound)
+				}
+			})
+		}
 	}
 }
 

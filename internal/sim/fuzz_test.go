@@ -202,6 +202,14 @@ func fuzzCloseRel(a, b float64) bool {
 // resident under a work-conserving policy — to exactly k.
 func checkShareInvariants(t *testing.T, label string, sys *System) {
 	t.Helper()
+	// Shares are lazily refreshed engine state, stale between stepping calls
+	// by design (the class-share path defers the post-completion re-derivation
+	// to the next call when provably safe). Settle the pending refresh —
+	// exactly what the next stepping call would do first — so the checker
+	// reads the allocation the engine will actually integrate with.
+	if sys.engine == EngineIncremental {
+		sys.refreshAllocationInc()
+	}
 	k := float64(sys.k)
 	total := 0.0
 	if cs := sys.cs; cs != nil {

@@ -9,12 +9,14 @@ package sim
 //     full advanceWork scan disappears. Remaining is settled only when the
 //     job's rate changes, when it completes, or when a dense (non-sparse)
 //     policy is about to run and may read it.
-//  2. An incremental future-event list. Completion events stay in the
-//     internal/eventq heap across steps, stamped with the job's generation
-//     (Job.gen). A rate change bumps the generation and pushes one fresh
-//     event; entries whose stamp no longer matches are discarded when they
-//     surface, and Compact reclaims them in bulk if they ever outnumber
-//     live jobs 4:1.
+//  2. An indexed future-event list (eventq.IndexedQueue), keyed by arena
+//     handle. A rate change reschedules the job's one entry in place; a
+//     preemption to zero removes it — the heap holds exactly the jobs with
+//     a completion in sight, so it stays O(active set) deep under the
+//     sparse paths however large the backlog grows, with no stale entries
+//     to filter or compact. The class-share path does not use it at all:
+//     its one-event-per-class structure lives in a flat per-class array of
+//     armed times (classshare.go).
 //  3. Policy change-sets. Policies implementing SparsePolicy report the
 //     full set of jobs holding a nonzero share as an explicit write-set
 //     (ShareSet). For the strict-priority family that set has at most
@@ -48,8 +50,6 @@ package sim
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/eventq"
 )
 
 // ShareWrite is one entry of a sparse allocation: a job and its server
@@ -62,9 +62,18 @@ type ShareWrite struct {
 // ShareSet receives a policy's sparse allocation: one Add per job that
 // should hold a nonzero share this event. Jobs not added drop to zero.
 // The backing storage is owned by the engine and reused across events.
+// The served-class guard is epoch-stamped: reset bumps one counter instead
+// of re-zeroing a per-class slice on every event.
 type ShareSet struct {
 	writes []ShareWrite
-	served []bool
+	served []uint64
+	epoch  uint64
+	// exhaustedAt is the policy-reported walk position at which the server
+	// budget ran out this event (MarkExhausted), or -1 when the walk ended
+	// with budget to spare. It is the policy's own decision — not a float
+	// recomputation — which is what lets the shadowed-arrival fast path
+	// (ArrivalShadowPolicy) stay bit-exact.
+	exhaustedAt int
 }
 
 // Add records that j should receive share servers. A job must be added at
@@ -75,21 +84,29 @@ func (ws *ShareSet) Add(j *Job, share float64) {
 
 // Served reports whether MarkServed was called for class c this event —
 // the sparse counterpart of the dense allocator's duplicate-order guard.
-func (ws *ShareSet) Served(c int) bool { return ws.served[c] }
+func (ws *ShareSet) Served(c int) bool { return ws.served[c] == ws.epoch }
 
 // MarkServed flags class c as already walked this event.
-func (ws *ShareSet) MarkServed(c int) { ws.served[c] = true }
+func (ws *ShareSet) MarkServed(c int) { ws.served[c] = ws.epoch }
 
-// reset prepares the set for a new event.
+// MarkExhausted records that the policy's walk ran out of server budget at
+// walk position pos (policy-defined; for the class-priority family it is
+// the index into the class walk order). Every job the walk would have
+// visited at or after this position received nothing. Policies implementing
+// ArrivalShadowPolicy must call it exactly when their early-out triggers.
+func (ws *ShareSet) MarkExhausted(pos int) { ws.exhaustedAt = pos }
+
+// reset prepares the set for a new event: a fresh epoch invalidates every
+// old MarkServed stamp in O(1) (stamps start at zero, epochs at one, so a
+// brand-new slice is never spuriously served).
 func (ws *ShareSet) reset(numClasses int) {
 	ws.writes = ws.writes[:0]
+	ws.exhaustedAt = -1
+	ws.epoch++
 	if cap(ws.served) < numClasses {
-		ws.served = make([]bool, numClasses)
+		ws.served = make([]uint64, numClasses)
 	}
 	ws.served = ws.served[:numClasses]
-	for i := range ws.served {
-		ws.served[i] = false
-	}
 }
 
 // SparsePolicy is an optional Policy extension consumed by the incremental
@@ -106,6 +123,27 @@ func (ws *ShareSet) reset(numClasses int) {
 type SparsePolicy interface {
 	Policy
 	AllocateSparse(st *State, ws *ShareSet)
+}
+
+// ArrivalShadowPolicy is an optional SparsePolicy extension for policies
+// that can prove an arrival leaves their decision untouched. A new arrival
+// always joins the tail of its class's FCFS queue; if the policy's last
+// walk ran out of budget at or before the point where that tail would be
+// visited, the new job is shadowed — it receives nothing and no other
+// job's share moves, so the engine skips the policy rerun entirely.
+//
+// ArrivalShadowed is consulted with exhaustedAt = the position the last
+// AllocateSparse reported via ShareSet.MarkExhausted (never -1), and must
+// answer from that mark alone: "is the tail of class c's queue at or after
+// walk position exhaustedAt?" The engine only asks while the last applied
+// write-set is still in force (no completion intervened), so the mark
+// still describes the live allocation. Profiling note: on the N=10k
+// occupancy benchmark this removes the full policy walk + write-set
+// compare that every arrival-refresh otherwise pays just to discover
+// nothing changed.
+type ArrivalShadowPolicy interface {
+	SparsePolicy
+	ArrivalShadowed(st *State, exhaustedAt int, c Class) bool
 }
 
 // settleJob brings j.Remaining up to the current clock under its rate.
@@ -139,28 +177,31 @@ func (s *System) settleAll() {
 // update the class aggregates, bump the job's generation and push its fresh
 // completion event. A no-op when the share is unchanged, which is what
 // keeps the per-event work proportional to the change-set.
-func (s *System) setShare(j *Job, a float64, spec *ClassSpec) {
+func (s *System) setShare(j *Job, a float64) {
 	if a == j.servers {
 		return
 	}
 	s.settleJob(j)
 	rate := a
-	if spec.Speedup.kind != speedupLinear && spec.Speedup.kind != speedupCapped {
-		rate = spec.Speedup.Rate(a)
+	if !s.idRate[j.Class] {
+		rate = s.classes[j.Class].Speedup.Rate(a)
 	}
 	s.incTotal += a - j.servers
 	s.incRate[j.Class] += rate - j.rate
 	j.servers = a
 	j.rate = rate
-	j.gen++
 	switch {
 	case j.Remaining <= 0:
 		// Fully depleted but not yet removed (an allocation change landed
 		// exactly on the finish time): completes immediately, like the
 		// rebuild engine's zero-remaining Append.
-		s.evq.PushGen(s.clock, j, j.gen)
+		s.ievq.Set(s.clock, j.handle)
 	case rate > 0:
-		s.evq.PushGen(s.clock+j.Remaining/rate, j, j.gen)
+		s.ievq.Set(s.clock+j.Remaining/rate, j.handle)
+	default:
+		// Preempted to zero with work left: no completion is in sight until
+		// the job is served again.
+		s.ievq.Remove(j.handle)
 	}
 }
 
@@ -195,47 +236,70 @@ func (s *System) refreshAllocationInc() {
 	if s.incTotal > float64(s.k)+1e-6 {
 		panic(fmt.Sprintf("sim: policy %s allocated %v servers on a %d-server system", s.policy.Name(), s.incTotal, s.k))
 	}
-	s.metrics.busyRate = math.Min(s.incTotal, float64(s.k))
-	// Safety valve: if stale entries outnumber live jobs 4:1, reclaim them
-	// in one pass. The closure captures nothing, so this stays
-	// allocation-free; dequeue order of live entries is unchanged.
-	if n := s.evq.Len(); n > 64 && n > 4*s.NumJobs() {
-		s.evq.Compact(func(e eventq.Event[*Job]) bool { return e.Gen == e.Payload.gen })
-	}
+	s.metrics.busyRate = min(s.incTotal, float64(s.k))
 }
 
 // applySparse diffs the policy's write-set against the previous active set.
+// When the raw write-set is byte-identical to the one it applied last time
+// and no completion has intervened, the decision is proven unchanged and
+// the whole diff (round stamps, bounds checks, active-set rebuild) is
+// skipped — the shape of every refresh that follows an arrival into a deep
+// backlog.
 func (s *System) applySparse() {
 	const eps = 1e-9
+	w := s.incWrites.writes
+	if s.incPrevValid && len(w) == len(s.incPrev) {
+		same := true
+		for i := range w {
+			if w[i] != s.incPrev[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
 	s.incRound++
 	next := s.incActiveBuf[:0]
-	for i := range s.incWrites.writes {
-		w := &s.incWrites.writes[i]
-		j := w.Job
+	for c := range s.incServed {
+		s.incServed[c] = 0
+	}
+	for i := range w {
+		j := w[i].Job
 		if j.round == s.incRound {
 			panic(fmt.Sprintf("sim: policy %s allocated job %d twice in one event", s.policy.Name(), j.ID))
 		}
 		j.round = s.incRound
-		spec := &s.classes[j.Class]
-		capC := spec.Cap()
-		a := w.Share
+		capC := s.caps[j.Class]
+		a := w[i].Share
 		if a < -eps || a > capC+eps {
 			panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
-				s.policy.Name(), a, spec.Speedup, capC))
+				s.policy.Name(), a, s.classes[j.Class].Speedup, capC))
 		}
-		s.setShare(j, clamp(a, 0, capC), spec)
+		// Inline setShare's no-change fast path: most written jobs keep the
+		// share they already hold (the continuing served prefix), and the
+		// compare here skips the call entirely.
+		if a = clamp(a, 0, capC); a != j.servers {
+			s.setShare(j, a)
+		}
 		if j.servers > 0 {
 			next = append(next, j)
+			s.incServed[j.Class]++
 		}
 	}
 	// Jobs that held servers last event but were not written this event
 	// drop to zero.
 	for _, j := range s.incActive {
 		if j.round != s.incRound {
-			s.setShare(j, 0, &s.classes[j.Class])
+			s.setShare(j, 0)
 		}
 	}
 	s.incActive, s.incActiveBuf = next, s.incActive[:0]
+	// Swap the write-set backing into the memo (and hand the memo's old
+	// backing to the next AllocateSparse) instead of copying it.
+	s.incPrev, s.incWrites.writes = w, s.incPrev[:0]
+	s.incPrevValid = true
 }
 
 // applyDense diffs a fully materialized Allocation (the rebuild-style
@@ -244,49 +308,76 @@ func (s *System) applySparse() {
 func (s *System) applyDense() {
 	const eps = 1e-9
 	for c, q := range s.queues {
-		spec := &s.classes[c]
-		capC := spec.Cap()
+		capC := s.caps[c]
 		for i, j := range q {
 			a := s.alloc.Classes[c][i]
 			if a < -eps || a > capC+eps {
 				panic(fmt.Sprintf("sim: policy %s allocated %v servers to a %s-class job (cap %v)",
-					s.policy.Name(), a, spec.Speedup, capC))
+					s.policy.Name(), a, s.classes[c].Speedup, capC))
 			}
-			s.setShare(j, clamp(a, 0, capC), spec)
+			s.setShare(j, clamp(a, 0, capC))
 		}
 	}
 }
 
-// peekLive returns the next live completion event without removing it,
-// discarding stale generations on the way, or (nil, +Inf) when nothing is
-// running.
+// peekLive returns the next completion event without removing it, or
+// (nil, +Inf) when nothing is running. The indexed queue (and the
+// class-share path's per-class head times) hold no stale entries, so there
+// is nothing to filter.
 func (s *System) peekLive() (*Job, float64) {
-	for !s.evq.Empty() {
-		e := s.evq.Peek()
-		j := e.Payload
-		if e.Gen != j.gen {
-			s.evq.Pop()
-			continue
-		}
-		return j, e.Time
+	if s.cs != nil {
+		return s.cs.peekNext(s)
 	}
-	return nil, math.Inf(1)
+	if s.ievq.Empty() {
+		return nil, math.Inf(1)
+	}
+	h, t := s.ievq.Peek()
+	return s.jobs.at(h), t
+}
+
+// popEvent consumes the event peekLive returned. Under the class-share path
+// the armed head time stays in place — cs.complete retires it when the
+// completion is processed.
+func (s *System) popEvent() {
+	if s.cs == nil {
+		s.ievq.Pop()
+	}
 }
 
 // advanceTimeInc integrates metrics and the per-class aggregates up to t
-// with no completion in between — O(#classes), no per-job work.
+// with no completion in between — O(#classes), no per-job work. The metric
+// integrals and the aggregate depletion run fused in one per-class pass
+// (the per-class terms are independent, so the fusion is bit-invisible);
+// the integrals are the same segment formulas the rebuild engine computes
+// from per-job scans, here read off the maintained aggregates.
 func (s *System) advanceTimeInc(t float64) {
 	dt := t - s.clock
 	if dt <= 0 {
 		return
 	}
-	s.metrics.integrateInc(s, dt)
+	m := &s.metrics
 	for c := range s.incWork {
+		// A class with no jobs, no residual work and no rate dust
+		// contributes exactly zero to every term below — skipping it is
+		// bit-identical, and a never-occupied class skips every event.
+		if s.incWork[c] == 0 && s.incRate[c] == 0 && len(s.queues[c]) == 0 {
+			continue
+		}
+		m.areaN[c] += float64(len(s.queues[c])) * dt
+		// Between events the class's work declines linearly at its total
+		// service rate: trapezoid rule with a constant depletion rate.
+		m.areaW[c] += (s.incWork[c] - 0.5*s.incRate[c]*dt) * dt
 		w := s.incWork[c] - s.incRate[c]*dt
 		if w < 0 {
 			w = 0
 		}
 		s.incWork[c] = w
+	}
+	m.areaBusy += m.busyRate * dt
+	m.elapsed += dt
+	if m.TrackOccupancy {
+		key := [2]int{min(s.NumClass(0), occupancyCap), min(s.NumClass(1), occupancyCap)}
+		m.occupancy[key] += dt
 	}
 	if s.cs != nil {
 		s.cs.advance(dt)
@@ -305,9 +396,24 @@ func (s *System) arriveInc(j *Job) {
 }
 
 // completeInc finishes j at the current clock: settle, remove, record,
-// recycle. The job's popped heap entry is already gone; the generation bump
-// kills any other entries it may still have.
+// recycle. The caller has already popped (or never armed) the job's event
+// entry, so its handle leaves the engine with no event referencing it.
 func (s *System) completeInc(j *Job) {
+	if s.sparse != nil {
+		// Warm the about-to-be-promoted jobs: the refresh that follows this
+		// completion walks the first unserved job of some class (profiling
+		// shows its cold Job struct dominating the sparse event cost at deep
+		// backlogs). Starting the loads here overlaps their memory latency
+		// with the completion bookkeeping and the policy walk. Heuristic
+		// reads only — no simulation state depends on them.
+		sink := s.prefetchSink
+		for c, q := range s.queues {
+			if n := int(s.incServed[c]); n < len(q) {
+				sink += q[n].round
+			}
+		}
+		s.prefetchSink = sink
+	}
 	if s.cs != nil {
 		// Class-share jobs carry no per-job rate; their residual is derived
 		// from the class coordinate and the class aggregates shrink by one
@@ -330,9 +436,10 @@ func (s *System) completeInc(j *Job) {
 	j.Remaining = 0
 	s.incTotal -= j.servers
 	s.incRate[j.Class] -= j.rate
-	s.metrics.busyRate = math.Min(math.Max(s.incTotal, 0), float64(s.k))
+	s.metrics.busyRate = min(max(s.incTotal, 0), float64(s.k))
 	j.servers, j.rate = 0, 0
-	j.gen++
+	// Shares changed outside applySparse, so its last-writes memo is stale.
+	s.incPrevValid = false
 	q := s.queues[j.Class]
 	switch {
 	case s.orderBlind:
@@ -344,18 +451,15 @@ func (s *System) completeInc(j *Job) {
 		moved := q[last]
 		q[j.qpos] = moved
 		moved.qpos = j.qpos
-		q[last] = nil
 		s.queues[j.Class] = q[:last]
 	case len(q) > 0 && q[0] == j:
 		// FCFS-within-class completions leave from the head: O(1) by
-		// advancing the slice window (append reuses the tail capacity, so
-		// reallocation is amortized O(1/n) per event).
-		q[0] = nil
+		// advancing the window (pushQueue slides it home in place once
+		// enough of the backing is abandoned, so no reallocation ever).
 		s.queues[j.Class] = q[1:]
+		s.qoff[j.Class]++
 	default:
-		var removed bool
-		s.queues[j.Class], removed = removeJob(q, j)
-		if !removed {
+		if !s.removeJobQueue(j.Class, j) {
 			panic("sim: completing job not found in system")
 		}
 	}
@@ -364,17 +468,13 @@ func (s *System) completeInc(j *Job) {
 			if a == j {
 				last := len(s.incActive) - 1
 				s.incActive[i] = s.incActive[last]
-				s.incActive[last] = nil
 				s.incActive = s.incActive[:last]
 				break
 			}
 		}
 	}
-	s.completionsBuf = append(s.completionsBuf, Completion{Job: *j, Finished: s.clock})
-	s.metrics.recordCompletion(j, s.clock)
-	s.free = append(s.free, j)
-	s.allocDirty = true
-	if s.NumJobs() == 0 {
+	s.appendCompletion(j)
+	if s.numJobs == 0 {
 		// Renormalize at regeneration points so floating-point dust never
 		// outlives a busy period.
 		s.incTotal = 0
@@ -389,12 +489,12 @@ func (s *System) completeInc(j *Job) {
 // semantics (completions in (clock, t], including ones landing exactly on
 // the clock or on t), different bookkeeping.
 func (s *System) advanceToInc(t float64) []Completion {
-	s.completionsBuf = s.completionsBuf[:0]
+	s.records = s.records[:0]
 	for {
 		s.refreshAllocationInc()
 		j, tc := s.peekLive()
 		if j != nil && tc <= t {
-			s.evq.Pop()
+			s.popEvent()
 			s.advanceTimeInc(tc)
 			s.completeInc(j)
 			// Batch simultaneous completions: rates cannot change until the
@@ -407,8 +507,19 @@ func (s *System) advanceToInc(t float64) []Completion {
 				if j2 == nil || tc2 != tc {
 					break
 				}
-				s.evq.Pop()
+				s.popEvent()
 				s.completeInc(j2)
+			}
+			// Class-share refresh deferral: when the advance ends exactly at
+			// this batch's timestamp and every surviving class head is
+			// provably clear of the completion coordinate, the policy re-run
+			// cannot produce another completion inside this AdvanceTo — so
+			// it waits for the next stepping call, where it merges with the
+			// refresh that call performs anyway (allocDirty stays set). For
+			// the completion-then-arrival-at-the-same-instant shape of
+			// lockstep drivers this halves the policy work per event.
+			if s.cs != nil && tc == t && s.cs.deferSafe(s) {
+				break
 			}
 			continue
 		}
@@ -419,7 +530,7 @@ func (s *System) advanceToInc(t float64) []Completion {
 	}
 	// Clamp accumulated floating error so coupled runs stay aligned.
 	s.clock = t
-	return s.completionsBuf
+	return s.materializeCompletions()
 }
 
 // advanceClockOnlyInc mirrors advanceClockOnly: integrate up to t assuming
@@ -433,7 +544,7 @@ func (s *System) advanceClockOnlyInc(t float64) {
 			s.advanceTimeInc(t)
 			break
 		}
-		s.evq.Pop()
+		s.popEvent()
 		s.advanceTimeInc(tc)
 		s.completeInc(j)
 	}
@@ -442,7 +553,7 @@ func (s *System) advanceClockOnlyInc(t float64) {
 
 // drainInc mirrors Drain under the incremental engine.
 func (s *System) drainInc(horizon float64) []Completion {
-	var all []Completion
+	s.records = s.records[:0]
 	for s.NumJobs() > 0 && s.clock < horizon {
 		s.refreshAllocationInc()
 		j, tc := s.peekLive()
@@ -451,11 +562,9 @@ func (s *System) drainInc(horizon float64) []Completion {
 			s.clock = horizon
 			break
 		}
-		s.evq.Pop()
+		s.popEvent()
 		s.advanceTimeInc(tc)
-		s.completionsBuf = s.completionsBuf[:0]
 		s.completeInc(j)
-		all = append(all, s.completionsBuf...)
 	}
-	return all
+	return append([]Completion(nil), s.materializeCompletions()...)
 }

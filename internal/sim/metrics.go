@@ -96,22 +96,9 @@ func (m *Metrics) Clone() Metrics {
 	return out
 }
 
-// integrateInc is the incremental engine's metric integrator (the rebuild
-// engine's integrals live fused inside System.advanceWork): identical segment
-// integrals computed from the maintained per-class aggregates (incWork,
-// incRate) instead of per-job scans, so one event costs O(#classes).
-func (m *Metrics) integrateInc(s *System, dt float64) {
-	for c := range s.queues {
-		m.areaN[c] += float64(len(s.queues[c])) * dt
-		m.areaW[c] += (s.incWork[c] - 0.5*s.incRate[c]*dt) * dt
-	}
-	m.areaBusy += m.busyRate * dt
-	m.elapsed += dt
-	if m.TrackOccupancy {
-		key := [2]int{min(s.NumClass(0), occupancyCap), min(s.NumClass(1), occupancyCap)}
-		m.occupancy[key] += dt
-	}
-}
+// The incremental engine's metric integrator lives fused inside
+// System.advanceTimeInc (one pass with the aggregate depletion), like the
+// rebuild engine's lives fused inside System.advanceWork.
 
 func (m *Metrics) recordCompletion(j *Job, now float64) {
 	resp := now - j.Arrival

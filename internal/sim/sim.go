@@ -105,28 +105,39 @@ type Job struct {
 	servers   float64 // current server allocation
 
 	// Incremental-engine state (unused by the rebuild engine): updated is
-	// the time Remaining was last settled; gen stamps the job's live
-	// future-event entry (older heap entries are stale); round marks the
-	// last sparse-allocation round that wrote this job. gen survives
-	// recycling through the free list so entries from a previous life can
-	// never be mistaken for live ones.
+	// the time Remaining was last settled; round marks the last
+	// sparse-allocation round that wrote this job. The job's future-event
+	// entry is keyed by handle in the indexed event list (eventq.IndexedQueue),
+	// which holds at most one entry per handle — no generation stamps needed.
 	updated float64
-	gen     uint64
 	round   uint64
 
-	// vtarget is the job's completion coordinate on its class's virtual-time
-	// axis under the sparse EQUI path (classshare.go); hpos is its position
-	// in the sparse SRPT path's indexed heap (srpt_inc.go), -1 when absent;
-	// qpos is the job's index in its class queue, maintained only by the
-	// queue-order-blind engine modes so departures swap-remove in O(1).
-	vtarget float64
+	// Class sits with the hot head (not with the other identity fields
+	// below) because the sparse apply loop reads it on every written job —
+	// keeping the whole {Remaining..Class, hpos, qpos} working set inside
+	// the struct's first 64 bytes halves the cold-miss footprint when a
+	// long-queued job is first promoted into service.
+	Class Class
+
+	// hpos is the job's position in the sparse SRPT path's indexed heap
+	// (srpt_inc.go), -1 when absent; qpos is the job's index in its class
+	// queue, maintained only by the queue-order-blind engine modes so
+	// departures swap-remove in O(1); vtarget is the job's completion
+	// coordinate on its class's virtual-time axis under the sparse EQUI
+	// path (classshare.go).
 	hpos    int32
 	qpos    int32
+	vtarget float64
 
 	ID      int
-	Class   Class
 	Arrival float64
 	Size    float64
+
+	// handle is the job's slot in the engine's arena (arena.go) — the
+	// pointer-free address the future-event list and the EQUI vtarget heaps
+	// store. Fixed when the slot is first carved out of a chunk; survives
+	// recycling.
+	handle jobHandle
 }
 
 // Rate returns the job's current service rate s(a).
@@ -161,10 +172,27 @@ type Policy interface {
 	Allocate(st *State, alloc *Allocation)
 }
 
-// Completion records one finished job.
+// Completion records one finished job. Job carries the identity fields
+// (ID, Class, Arrival, Size; Remaining is zero on a finished job) —
+// materialized from the engine's compact per-completion record at the
+// AdvanceTo/Drain boundary, so engine-internal scheduling state never
+// rides along on the hot path.
 type Completion struct {
 	Job      Job
 	Finished float64
+}
+
+// completionRecord is the engine-internal shape of one completion: ~40
+// bytes against Completion's ~112, appended by both engines through the
+// shared appendCompletion helper and expanded into full Completions only
+// when AdvanceTo/Drain return to the caller (the RunObserved/recorder
+// boundary).
+type completionRecord struct {
+	finished float64
+	arrival  float64
+	size     float64
+	id       int
+	class    Class
 }
 
 // Response returns the job's response time.
@@ -230,24 +258,51 @@ type System struct {
 	clock   float64
 	nextID  int
 
+	// queues[c] is the scheduler-visible FCFS window over qbase[c], starting
+	// at offset qoff[c]. FCFS departures leave from the head by advancing
+	// the window; when an append runs out of tail capacity and at least a
+	// quarter of the backing has been abandoned at the front, the window
+	// slides home in place instead of reallocating — steady-state stepping
+	// therefore never regrows the queue backing (and never re-triggers the
+	// GC through it).
 	queues [][]*Job
+	qbase  [][]*Job
+	qoff   []int
 
 	st    State
 	alloc Allocation
 
-	// evq is the future-event list used to select the next departure. The
-	// rebuild engine refills it from the live job set at every event (its
-	// backing array is reused, so rebuilding is allocation-free); the
-	// incremental engine keeps entries across steps and discards stale
-	// generations lazily.
-	evq eventq.Queue[*Job]
+	// caps[c] is classes[c].Cap() and idRate[c] reports whether the class's
+	// speedup satisfies s(a) = a for feasible a (linear/capped), both
+	// precomputed at construction — the class set is immutable, so the hot
+	// loops skip the per-event dispatch through Speedup.
+	caps   []float64
+	idRate []bool
+
+	// evq is the rebuild engine's future-event list, refilled from the live
+	// job set at every event (its backing array is reused, so rebuilding is
+	// allocation-free). It holds arena handles — no pointers, so heap swaps
+	// write no barriers.
+	evq eventq.Queue[jobHandle]
+
+	// ievq is the incremental engine's future-event list for the sparse,
+	// SRPT and dense paths: an indexed heap with at most one entry per
+	// handle, rescheduled in place when a rate changes, so the heap depth is
+	// the live event count (~k entries under the sparse paths) and no stale
+	// entries ever accumulate. The class-share path bypasses it entirely —
+	// its per-class head times live in classShareState.nextT.
+	ievq eventq.IndexedQueue
 
 	metrics Metrics
 
-	// completionsBuf is reused across AdvanceTo calls; free recycles Job
-	// structs so steady-state stepping performs no heap allocations.
+	// records collects the compact per-completion records of the current
+	// AdvanceTo/Drain; completionsBuf is the materialized Completion slice
+	// handed back to the caller, reused across calls. jobs is the arena
+	// that owns and recycles every Job struct.
+	records        []completionRecord
 	completionsBuf []Completion
-	free           []*Job
+	jobs           jobArena
+	numJobs        int
 
 	allocDirty bool
 
@@ -261,6 +316,7 @@ type System struct {
 	// the modes whose policies never read FCFS queue positions, letting
 	// departures swap-remove from the queue slices in O(1).
 	sparse       SparsePolicy
+	arrShadow    ArrivalShadowPolicy // sparse's shadowed-arrival facet, when offered
 	cs           *classShareState
 	srpt         *srptState
 	orderBlind   bool
@@ -271,6 +327,21 @@ type System struct {
 	incActiveBuf []*Job
 	incWrites    ShareSet
 	incRound     uint64
+
+	// incServed[c] counts class c's jobs in incActive as of the last sparse
+	// apply; prefetchSink forces the service-boundary warmup loads in
+	// completeInc to stay in the compiled code. Both are heuristic-only
+	// state: no simulation quantity ever reads them.
+	incServed    []int32
+	prefetchSink uint64
+
+	// incPrev is the raw write-set the last applySparse applied. While no
+	// completion has intervened (incPrevValid), a refresh producing the
+	// exact same writes is a proven no-op and skips the whole diff — the
+	// common shape of the refresh that follows an arrival into a deep
+	// backlog, where the served prefix is unchanged.
+	incPrev      []ShareWrite
+	incPrevValid bool
 }
 
 // NewClassSystem returns an empty system with k servers over the given job
@@ -296,25 +367,38 @@ func NewClassSystemOpts(k int, classes []ClassSpec, policy Policy, opts Options)
 		policy:  policy,
 		engine:  opts.Engine,
 		queues:  make([][]*Job, len(classes)),
+		qbase:   make([][]*Job, len(classes)),
+		qoff:    make([]int, len(classes)),
 	}
 	s.alloc.Classes = make([][]float64, len(classes))
 	s.st.K = k
 	s.st.Classes = s.classes
+	s.caps = make([]float64, len(classes))
+	s.idRate = make([]bool, len(classes))
+	for c := range s.classes {
+		s.caps[c] = s.classes[c].Cap()
+		kind := s.classes[c].Speedup.kind
+		s.idRate[c] = kind == speedupLinear || kind == speedupCapped
+	}
 	s.metrics.init(len(classes))
 	s.metrics.Reset(0)
 	if s.engine == EngineIncremental {
 		s.incRate = make([]float64, len(classes))
 		s.incWork = make([]float64, len(classes))
+		s.incServed = make([]int32, len(classes))
 		if !opts.ForceDense && os.Getenv("SIM_FORCE_DENSE") == "" {
 			switch p := policy.(type) {
 			case ClassSharePolicy:
-				s.cs = newClassShareState(p, len(classes))
+				s.cs = newClassShareState(p, s)
 				s.orderBlind = true
 			case RemainingOrderedPolicy:
 				s.srpt = &srptState{}
 				s.orderBlind = true
 			default:
 				s.sparse, _ = policy.(SparsePolicy)
+				if s.sparse != nil {
+					s.arrShadow, _ = policy.(ArrivalShadowPolicy)
+				}
 			}
 		}
 	}
@@ -349,13 +433,7 @@ func (s *System) NumClass(c Class) int {
 }
 
 // NumJobs returns the total number of jobs in system.
-func (s *System) NumJobs() int {
-	n := 0
-	for _, q := range s.queues {
-		n += len(q)
-	}
-	return n
-}
+func (s *System) NumJobs() int { return s.numJobs }
 
 // Work returns the total remaining work W(t).
 func (s *System) Work() float64 {
@@ -410,32 +488,40 @@ func (s *System) Arrive(a Arrival) *Job {
 	if a.Class < 0 || int(a.Class) >= len(s.classes) {
 		panic(fmt.Sprintf("sim: arrival of unknown class %d on a %d-class system", a.Class, len(s.classes)))
 	}
-	var j *Job
-	if n := len(s.free); n > 0 {
-		j = s.free[n-1]
-		s.free = s.free[:n-1]
-		// gen must survive recycling: stale future-event entries from the
-		// struct's previous life carry older generations and stay dead.
-		gen := j.gen
-		*j = Job{}
-		j.gen = gen
-	} else {
-		j = &Job{}
-	}
+	// handle must survive recycling (alloc preserves it); no future-event
+	// entry from the slot's previous life can linger — the engines
+	// unschedule a job's event before releasing its slot. Every other field
+	// is reset explicitly (cheaper than a full struct clear followed by
+	// re-writing half the fields).
+	j := s.jobs.alloc()
+	j.Remaining = a.Size
+	j.rate = 0
+	j.servers = 0
+	j.updated = s.clock
+	j.round = 0
+	j.vtarget = 0
+	j.hpos = -1
+	j.qpos = int32(len(s.queues[a.Class]))
 	j.ID = s.nextID
 	j.Class = a.Class
 	j.Arrival = s.clock
 	j.Size = a.Size
-	j.Remaining = a.Size
-	j.updated = s.clock
-	j.hpos = -1
-	j.qpos = int32(len(s.queues[a.Class]))
 	s.nextID++
-	s.queues[a.Class] = append(s.queues[a.Class], j)
+	s.pushQueue(a.Class, j)
+	s.numJobs++
 	s.metrics.arrivals[a.Class]++
 	if s.engine == EngineIncremental {
 		s.incWork[a.Class] += a.Size
 		s.arriveInc(j)
+		// Shadowed-arrival fast path: if the policy's last walk provably
+		// stops before it would reach this job (ArrivalShadowPolicy), the
+		// allocation is unchanged and the refresh is skipped outright. Only
+		// valid while the last applied write-set is still in force —
+		// completions clear incPrevValid.
+		if s.arrShadow != nil && s.incPrevValid && s.incWrites.exhaustedAt >= 0 &&
+			s.arrShadow.ArrivalShadowed(&s.st, s.incWrites.exhaustedAt, a.Class) {
+			return j
+		}
 	}
 	s.allocDirty = true
 	return j
@@ -451,7 +537,7 @@ func (s *System) AdvanceTo(t float64) []Completion {
 	if s.engine == EngineIncremental {
 		return s.advanceToInc(t)
 	}
-	s.completionsBuf = s.completionsBuf[:0]
+	s.records = s.records[:0]
 	for {
 		s.refreshAllocation()
 		done, tc := s.nextCompletion()
@@ -471,7 +557,42 @@ func (s *System) AdvanceTo(t float64) []Completion {
 	}
 	// Clamp accumulated floating error so coupled runs stay aligned.
 	s.clock = t
-	return s.completionsBuf
+	return s.materializeCompletions()
+}
+
+// appendCompletion is the one completion append site shared by both
+// engines: compact record, response statistics, slot recycling. Callers
+// must have settled Remaining and removed the job from its queue.
+func (s *System) appendCompletion(j *Job) {
+	s.records = append(s.records, completionRecord{
+		finished: s.clock, arrival: j.Arrival, size: j.Size, id: j.ID, class: j.Class,
+	})
+	s.metrics.recordCompletion(j, s.clock)
+	s.jobs.release(j)
+	s.numJobs--
+	s.allocDirty = true
+}
+
+// materializeCompletions expands the compact records of the finished
+// AdvanceTo into caller-visible Completions through one grown buffer —
+// same-timestamp batches flush together, and the scheduling-internal Job
+// fields the records dropped stay zero.
+func (s *System) materializeCompletions() []Completion {
+	if cap(s.completionsBuf) < len(s.records) {
+		s.completionsBuf = make([]Completion, 0, max(len(s.records), 16))
+	}
+	out := s.completionsBuf[:len(s.records)]
+	for i := range s.records {
+		r := &s.records[i]
+		o := &out[i]
+		*o = Completion{Finished: r.finished}
+		o.Job.ID = r.id
+		o.Job.Class = r.class
+		o.Job.Arrival = r.arrival
+		o.Job.Size = r.size
+	}
+	s.completionsBuf = out
+	return out
 }
 
 // Drain runs the system until it empties or the clock passes horizon,
@@ -480,7 +601,7 @@ func (s *System) Drain(horizon float64) []Completion {
 	if s.engine == EngineIncremental {
 		return s.drainInc(horizon)
 	}
-	var all []Completion
+	s.records = s.records[:0]
 	for s.NumJobs() > 0 && s.clock < horizon {
 		s.refreshAllocation()
 		done, tc := s.nextCompletion()
@@ -491,11 +612,11 @@ func (s *System) Drain(horizon float64) []Completion {
 		}
 		s.advanceWork(tc - s.clock)
 		s.clock = tc
-		s.completionsBuf = s.completionsBuf[:0]
 		s.complete(done)
-		all = append(all, s.completionsBuf...)
 	}
-	return all
+	// Drain's result must survive subsequent stepping, so it gets its own
+	// slice rather than the reused AdvanceTo buffer.
+	return append([]Completion(nil), s.materializeCompletions()...)
 }
 
 // advanceClockOnly integrates metrics and work up to t assuming no
@@ -545,11 +666,11 @@ func (s *System) applyAllocation() {
 	total := 0.0
 	for c, q := range s.queues {
 		spec := &s.classes[c]
-		capC := spec.Cap()
+		capC := s.caps[c]
 		// Linear and capped speedups satisfy s(a) = a for every feasible
 		// (clamped) allocation, so the dispatch through Speedup.Rate is
 		// hoisted out of the hot loop.
-		identityRate := spec.Speedup.kind == speedupLinear || spec.Speedup.kind == speedupCapped
+		identityRate := s.idRate[c]
 		ac := s.alloc.Classes[c]
 		for i, j := range q {
 			a := ac[i]
@@ -587,9 +708,9 @@ func (s *System) nextCompletion() (*Job, float64) {
 				// Fully depleted but not yet removed (possible when an
 				// allocation change lands exactly on a finish time):
 				// completes immediately.
-				s.evq.Append(s.clock, j)
+				s.evq.Append(s.clock, j.handle)
 			case j.rate > 0:
-				s.evq.Append(s.clock+j.Remaining/j.rate, j)
+				s.evq.Append(s.clock+j.Remaining/j.rate, j.handle)
 			}
 		}
 	}
@@ -598,7 +719,7 @@ func (s *System) nextCompletion() (*Job, float64) {
 	}
 	s.evq.Fix()
 	e := s.evq.Peek()
-	return e.Payload, e.Time
+	return s.jobs.at(e.Payload), e.Time
 }
 
 // advanceWork depletes remaining sizes over dt at current rates and
@@ -646,37 +767,62 @@ func (s *System) advanceWork(dt float64) {
 
 func (s *System) complete(j *Job) {
 	j.Remaining = 0
-	var removed bool
-	s.queues[j.Class], removed = removeJob(s.queues[j.Class], j)
-	if !removed {
+	if !s.removeJobQueue(j.Class, j) {
 		panic("sim: completing job not found in system")
 	}
-	s.completionsBuf = append(s.completionsBuf, Completion{Job: *j, Finished: s.clock})
-	s.metrics.recordCompletion(j, s.clock)
-	s.free = append(s.free, j)
-	s.allocDirty = true
+	s.appendCompletion(j)
 }
 
-// removeJob deletes j from the FCFS slice preserving order, shifting
-// whichever side of the hole is shorter. Completions cluster near the head
-// of long queues (the served prefix under priority policies), where the
-// old shift-everything-right-of-i cost O(n) per event; shifting the short
-// left side and advancing the slice window makes that case O(i). The
-// abandoned front slot is reclaimed when append next reallocates.
-func removeJob(jobs []*Job, j *Job) ([]*Job, bool) {
+// pushQueue appends j to its class queue. While the window has tail
+// capacity this is a plain append; when it runs out, the live window either
+// slides back to the front of the backing array in place (when head
+// departures have abandoned at least a quarter of it — the steady-state
+// case, no allocation) or moves to a doubled backing (the warmup case).
+// Stale pointers beyond the window are left as-is: every Job lives in the
+// arena, which out-lives them all, so there is nothing for the GC to pin.
+func (s *System) pushQueue(c Class, j *Job) {
+	q := s.queues[c]
+	if len(q) < cap(q) {
+		s.queues[c] = append(q, j)
+		return
+	}
+	base, n := s.qbase[c], len(q)
+	if off := s.qoff[c]; off > 0 && off >= len(base)/4 {
+		copy(base, q)
+		s.qoff[c] = 0
+		q = base[:n]
+	} else {
+		grown := make([]*Job, max(64, 2*(n+1)))
+		copy(grown, q)
+		s.qbase[c] = grown
+		s.qoff[c] = 0
+		q = grown[:n]
+	}
+	s.queues[c] = append(q, j)
+}
+
+// removeJobQueue deletes j from its class's FCFS window preserving order,
+// shifting whichever side of the hole is shorter. Completions cluster near
+// the head of long queues (the served prefix under priority policies),
+// where shifting the short left side and advancing the window makes the
+// common case O(i) instead of O(n); pushQueue reclaims the abandoned front
+// without reallocating.
+func (s *System) removeJobQueue(c Class, j *Job) bool {
+	jobs := s.queues[c]
 	for i, cand := range jobs {
 		if cand == j {
 			if i < len(jobs)-1-i {
 				copy(jobs[1:i+1], jobs[:i])
-				jobs[0] = nil
-				return jobs[1:], true
+				s.queues[c] = jobs[1:]
+				s.qoff[c]++
+			} else {
+				copy(jobs[i:], jobs[i+1:])
+				s.queues[c] = jobs[:len(jobs)-1]
 			}
-			copy(jobs[i:], jobs[i+1:])
-			jobs[len(jobs)-1] = nil
-			return jobs[:len(jobs)-1], true
+			return true
 		}
 	}
-	return jobs, false
+	return false
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -17,8 +17,6 @@ package sim
 // Arrivals push, completions remove by position: every operation is
 // O(log n), and the per-event total is O(k log n) regardless of occupancy.
 
-import "math"
-
 // RemainingOrderedPolicy marks policies whose allocation rule is exactly:
 // walk jobs by ascending settled remaining size (ties to the lower class,
 // FCFS within a class), giving each job up to its class cap until the
@@ -160,7 +158,7 @@ func (sp *srptState) refresh(s *System) {
 	for remaining > 0 && sp.heap.len() > 0 {
 		j := sp.heap.pop()
 		sp.scratch = append(sp.scratch, j)
-		a := math.Min(s.classes[j.Class].Cap(), remaining)
+		a := min(s.caps[j.Class], remaining)
 		s.incWrites.Add(j, a)
 		remaining -= a
 	}

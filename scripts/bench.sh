@@ -6,24 +6,52 @@
 # perf trajectory across PRs is preserved (a legacy single-snapshot file is
 # migrated into the history's first entry automatically).
 #
-# Each benchmark runs 3 times and benchlog records the fastest sample
-# (best-of-3), so the history entries — the baselines `benchlog -check`
-# gates CI against — carry as little scheduler noise as possible.
+# Each benchmark runs BENCH_COUNT times (default 3) and benchlog records the
+# fastest sample, so the history entries — the baselines `benchlog -check`
+# gates CI against — carry as little scheduler noise as possible. On a noisy
+# shared box, raise BENCH_COUNT (e.g. BENCH_COUNT=7) for a tighter floor.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 1s)
+# Usage: scripts/bench.sh [benchtime]            (default 1s)
+#        scripts/bench.sh profile [benchtime]    (profile mode)
+#
+# Profile mode appends nothing: it reruns the occupancy-scaling hot path
+# (the incremental-engine legs of BenchmarkEngineEventN10k — the constant
+# being attacked; the rebuild legs are O(n)/O(n^2) by design and would
+# drown the profile) under the CPU, allocation and mutex profilers and
+# drops flamegraph-ready BENCH_cpu.prof / BENCH_mem.prof / BENCH_mutex.prof
+# (plus the test binary BENCH_bench.test for symbolizing) next to
+# BENCH_engine.json. Inspect with e.g.
+#   go tool pprof -http=: BENCH_bench.test BENCH_cpu.prof
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-1s}"
+BENCH_COUNT="${BENCH_COUNT:-3}"
 OUT="BENCH_engine.json"
+
+if [ "${1:-}" = "profile" ]; then
+  BENCHTIME="${2:-1s}"
+  echo "==> profiling BenchmarkEngineEventN10k/incremental* (-benchtime $BENCHTIME)"
+  go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEventN10k/incremental' \
+    -benchtime "$BENCHTIME" -o BENCH_bench.test \
+    -cpuprofile BENCH_cpu.prof -memprofile BENCH_mem.prof -mutexprofile BENCH_mutex.prof
+  # Smoke: the profiles must load and be non-trivial, or the wiring rotted.
+  go tool pprof -top -nodecount=5 BENCH_bench.test BENCH_cpu.prof
+  for p in BENCH_cpu.prof BENCH_mem.prof BENCH_mutex.prof; do
+    [ -s "$p" ] || { echo "FAIL: $p missing or empty" >&2; exit 1; }
+  done
+  echo "profiles written: BENCH_cpu.prof BENCH_mem.prof BENCH_mutex.prof (binary: BENCH_bench.test)"
+  exit 0
+fi
+
+BENCHTIME="${1:-1s}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "==> go test -bench Engine/Throughput (-benchtime $BENCHTIME, best of 3)"
+echo "==> go test -bench Engine/Throughput (-benchtime $BENCHTIME, best of $BENCH_COUNT)"
 go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
-  -benchmem -benchtime "$BENCHTIME" -count 3 | tee -a "$RAW"
+  -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" | tee -a "$RAW"
 go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' \
-  -benchmem -benchtime "$BENCHTIME" -count 3 | tee -a "$RAW"
+  -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" | tee -a "$RAW"
 
 NOTE="$(git rev-parse --short HEAD 2>/dev/null || echo unversioned) benchtime=$BENCHTIME"
 go run ./cmd/benchlog -file "$OUT" -date "$(date -u +%Y-%m-%d)" -note "$NOTE" < "$RAW"

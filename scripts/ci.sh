@@ -41,12 +41,15 @@ echo "==> cross-engine equivalence gate (two-class preset bit-identical to the f
 go test ./internal/sim -run 'TestGolden' -count=1
 go test ./internal/exp -run 'TestGoldenFigure' -count=1
 
-echo "==> stepping-engine equivalence gate (rebuild vs incremental: identical completion sequences, stats to 1e-9, incremental goldens bit-frozen)"
+echo "==> stepping-engine equivalence gate (rebuild vs incremental on arena job storage: identical completion sequences, stats to 1e-9, incremental goldens bit-frozen)"
 go test ./internal/sim -run 'TestEngineEquivalenceMatrix|TestGoldenIncremental' -count=1
 go test ./internal/exp -run 'TestEngineSweepEquivalence|TestTailQuantiles' -count=1
 
-echo "==> allocation-regression gate (steady-state stepping <= 1 alloc/event)"
-go test ./internal/sim -run 'TestSteadyStateAllocs' -count=1
+echo "==> allocation-regression gate (steady-state stepping <= 1 alloc/event; arena path bounded at n in {100, 10k})"
+go test ./internal/sim -run 'TestSteadyStateAllocs|TestSteadyStateBytes' -count=1
+
+echo "==> arena recycle gate (recycled job slots never alias a live handle in any hot structure)"
+go test ./internal/sim -run 'TestArena' -count=1
 
 echo "==> exp worker-pool race stress"
 go test -race -run 'TestWorkerPoolStressRace' -count=2 ./internal/exp
@@ -132,15 +135,26 @@ go test -fuzz=FuzzFrameCodec -fuzztime=10s ./internal/wire
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
 
-echo "==> sparse-vs-dense fuzz gate (EQUI class shares, SRPT indexed heap)"
+echo "==> sparse-vs-dense fuzz gate (EQUI class shares, SRPT indexed heap, arena handle recycling)"
 go test -fuzz=FuzzSparseShareSet -fuzztime=10s ./internal/sim
+
+echo "==> profiling-harness smoke (scripts/bench.sh profile must drop loadable, non-empty profiles)"
+scripts/bench.sh profile 0.05s >/dev/null
+for p in BENCH_cpu.prof BENCH_mem.prof BENCH_mutex.prof; do
+  [ -s "$p" ] || { echo "FAIL: bench.sh profile did not write $p" >&2; exit 1; }
+done
+rm -f BENCH_cpu.prof BENCH_mem.prof BENCH_mutex.prof BENCH_bench.test
+echo "    bench.sh profile wrote cpu/mem/mutex profiles"
 
 echo "==> benchmark perf gate (ns/op vs BENCH_engine.json; BENCH_GATE=0 skips)"
 if [ "${BENCH_GATE:-1}" != "0" ]; then
-  # Best-of-3 per benchmark (benchlog keeps the fastest sample) against the
-  # newest recorded entry; >10% ns/op slowdown on any pinned benchmark fails.
+  # Best-of-N per benchmark (benchlog keeps the fastest sample; BENCH_COUNT,
+  # default 3 — raise it on a noisy box, same knob scripts/bench.sh honors)
+  # against the newest recorded entry; >10% slowdown in ns/op — or
+  # events/sec for the N-scaling family — on any pinned benchmark fails,
+  # with the observed spread printed for diagnosis.
   go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
-    -benchmem -benchtime 1s -count 3 | tee "$tmp/bench.txt"
+    -benchmem -benchtime 1s -count "${BENCH_COUNT:-3}" | tee "$tmp/bench.txt"
   go run ./cmd/benchlog -check -file BENCH_engine.json < "$tmp/bench.txt"
   # The structure-specific fast paths must beat the rebuild engine >= 10x at
   # n = 10k and run allocation-free in steady state.
