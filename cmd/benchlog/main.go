@@ -17,13 +17,16 @@
 //
 // The BenchmarkEngineEventN* occupancy-scaling family additionally records
 // a derived events_per_sec column (1e9 / ns_per_op; one op is one simulated
-// event).
+// event). The BenchmarkServe* serving family records the requests_per_sec
+// metric emitted by the benchmarks themselves (b.ReportMetric with unit
+// "requests/sec" — loopback HTTP requests served per second).
 //
 // With -check, nothing is appended: the run on stdin is compared against
 // the newest entry already in the history, and the command fails when any
 // benchmark present in both slowed down by more than -threshold (default
 // 10%) in ns/op — or, for the BenchmarkEngineEventN* family, in
-// events_per_sec. Failure lines include the observed spread across the
+// events_per_sec, or, for BenchmarkServe*, in requests_per_sec. Failure
+// lines include the observed spread across the
 // best-of-N samples on stdin. Benchmarks new in this run pass trivially;
 // benchmarks that disappeared are ignored. scripts/ci.sh runs this as the
 // BENCH_GATE.
@@ -54,6 +57,10 @@ type Benchmark struct {
 	// occupancy-scaling family, where one op is one simulated event — the
 	// events/sec throughput the ROADMAP stretch goal is stated in.
 	EventsPerSec *float64 `json:"events_per_sec,omitempty"`
+	// ReqPerSec is the "requests/sec" metric the BenchmarkServe* loopback
+	// serving benchmarks report via b.ReportMetric — the unit the ISSUE's
+	// 100k-req/sec cache-hit serving target is stated in.
+	ReqPerSec *float64 `json:"requests_per_sec,omitempty"`
 	// samples holds every ns/op observation folded into this best-of-N
 	// entry, for spread diagnostics on -check failures. Not recorded.
 	samples []float64
@@ -102,6 +109,8 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 				b.AllocsOp = &val
 			case "completions/sec":
 				b.CompPerSec = &val
+			case "requests/sec":
+				b.ReqPerSec = &val
 			}
 		}
 		if engineEventFamily(b.Name) && b.NsPerOp != nil && *b.NsPerOp > 0 {
@@ -193,7 +202,9 @@ func validRuns(runs []Run) bool {
 // returns one line per regression beyond threshold (e.g. 0.10 for 10%).
 // ns/op is gated everywhere; events_per_sec is additionally gated for the
 // BenchmarkEngineEventN* family so the N-scaling benchmarks participate in
-// the regression gate in the unit the ROADMAP goal is stated in. B/op and
+// the regression gate in the unit the ROADMAP goal is stated in, and
+// requests_per_sec is gated for the BenchmarkServe* serving family for the
+// same reason (the ISSUE's serving target is stated in req/sec). B/op and
 // allocs/op are pinned exactly by the test suite, and completions/sec is
 // derived from ns/op. Benchmarks missing from either side are skipped —
 // renames and additions must not brick CI. Failure lines carry the observed
@@ -219,6 +230,12 @@ func check(last Run, cur []Benchmark, threshold float64) []string {
 			if ratio := *base.EventsPerSec / *b.EventsPerSec; ratio > 1+threshold {
 				bad = append(bad, fmt.Sprintf("%s: %.0f events/sec vs %.0f recorded on %s (-%.1f%%, threshold %.0f%%)%s",
 					b.Name, *b.EventsPerSec, *base.EventsPerSec, last.Date, (1-1/ratio)*100, threshold*100, spread(b.samples)))
+			}
+		}
+		if b.ReqPerSec != nil && base.ReqPerSec != nil && *b.ReqPerSec > 0 {
+			if ratio := *base.ReqPerSec / *b.ReqPerSec; ratio > 1+threshold {
+				bad = append(bad, fmt.Sprintf("%s: %.0f requests/sec vs %.0f recorded on %s (-%.1f%%, threshold %.0f%%)%s",
+					b.Name, *b.ReqPerSec, *base.ReqPerSec, last.Date, (1-1/ratio)*100, threshold*100, spread(b.samples)))
 			}
 		}
 	}

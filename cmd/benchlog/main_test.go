@@ -94,6 +94,38 @@ func TestCheckGatesEventsPerSec(t *testing.T) {
 	}
 }
 
+func TestParseBenchReadsRequestsPerSec(t *testing.T) {
+	in := strings.NewReader(`BenchmarkServeCacheHit-1   500000   10000 ns/op   99500 requests/sec
+`)
+	benches, err := parseBench(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 {
+		t.Fatalf("got %d benchmarks", len(benches))
+	}
+	if benches[0].ReqPerSec == nil || *benches[0].ReqPerSec != 99500 {
+		t.Fatalf("serving entry missing requests_per_sec: %+v", benches[0])
+	}
+}
+
+func TestCheckGatesRequestsPerSec(t *testing.T) {
+	last := Run{Date: "d", Benchmarks: []Benchmark{
+		{Name: "BenchmarkServeCacheHit", ReqPerSec: f(100000)},
+	}}
+	cur := []Benchmark{
+		{Name: "BenchmarkServeCacheHit", ReqPerSec: f(80000)}, // -20%
+	}
+	bad := check(last, cur, 0.10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "requests/sec") {
+		t.Fatalf("want one requests/sec regression, got %v", bad)
+	}
+	cur[0].ReqPerSec = f(95000) // -5%: inside threshold
+	if bad := check(last, cur, 0.10); len(bad) != 0 {
+		t.Fatalf("want no regressions, got %v", bad)
+	}
+}
+
 func TestCheckFailurePrintsSpread(t *testing.T) {
 	in := strings.NewReader(`BenchmarkA-8   10   300.0 ns/op
 BenchmarkA-8   10   200.0 ns/op

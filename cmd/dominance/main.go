@@ -10,6 +10,10 @@
 //
 //	dominance -k 4 -rho 0.8 -muI 1.5 -muE 1.0 -a IF -b EF -n 20000 -seeds 5
 //	dominance -k 4 -rho 0.8 -a IF -b FCFS -seeds 8 -backend proc -procs 4
+//	dominance -k 4 -rho 0.8 -seeds 32 -cache dominance.jsonl   # resumable
+//
+// -cache persists each finished trace as a JSONL task outcome (keyed by
+// exp.TaskKey), so an interrupted many-seed run resumes where it stopped.
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
 		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
 		dispatch = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
+		cache    = flag.String("cache", "", "JSONL outcome cache; finished traces are reused across runs")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -59,6 +64,18 @@ func main() {
 	default:
 		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
 	}
+	var oc exp.OutcomeCache
+	if *cache != "" {
+		fc, err := exp.OpenFileCache(*cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if msg := exp.CorruptWarning(*cache, fc.Corrupt()); msg != "" {
+			log.Print(msg)
+		}
+		defer fc.Close()
+		oc = fc
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -67,6 +84,7 @@ func main() {
 		K: *k, Rho: *rho, MuI: *muI, MuE: *muE,
 		PolicyA: *polA, PolicyB: *polB,
 		Arrivals: *n, Seeds: *seeds, Workers: *workers, Backend: be,
+		Cache: oc,
 	})
 	if err != nil {
 		log.Fatal(err)

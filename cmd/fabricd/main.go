@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/fabric"
 )
 
@@ -77,8 +78,8 @@ func runDispatcher(ctx context.Context, listen, addrFile, cachePath string, hbTi
 		if err != nil {
 			log.Fatal(err)
 		}
-		if n := fc.Corrupt(); n > 0 {
-			log.Printf("warning: cache %s: skipped %d corrupt line(s); the affected tasks will be recomputed", cachePath, n)
+		if msg := exp.CorruptWarning(cachePath, fc.Corrupt()); msg != "" {
+			log.Print(msg)
 		}
 		defer fc.Close()
 		log.Printf("outcome cache %s: %d entries", cachePath, fc.Len())

@@ -13,6 +13,12 @@
 //	figures -fig mix          # Section 6 class-mix sweep (N-class engine)
 //	figures -fig all          # everything, written to -outdir
 //	figures -fig mix -backend proc -procs 4
+//	figures -fig all -cache figures.jsonl    # resume an interrupted run
+//
+// -cache persists finished work as JSONL: the mix sweep at cell
+// granularity and every grid point of the other figures as task outcomes
+// (exp.TaskKey), so re-running after an interruption recomputes only what
+// is missing.
 package main
 
 import (
@@ -66,6 +72,7 @@ func main() {
 		backend  = flag.String("backend", "pool", "dispatch backend: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
 		procs    = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
 		dispatch = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
+		cache    = flag.String("cache", "", "JSONL cache; finished cells and grid points are reused across runs")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -86,6 +93,21 @@ func main() {
 		opt.Backend = &fabric.Backend{Addr: *dispatch, Name: "figures"}
 	default:
 		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
+	}
+	if *cache != "" {
+		fc, err := exp.OpenFileCache(*cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if msg := exp.CorruptWarning(*cache, fc.Corrupt()); msg != "" {
+			log.Print(msg)
+		}
+		defer fc.Close()
+		// One file serves both granularities: the mix sweep caches whole
+		// cells, the point drivers (Figures 4-6, validation, ablation)
+		// cache task outcomes keyed by exp.TaskKey.
+		opt.Cache = fc
+		opt.TaskCache = fc
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -5,6 +5,7 @@
 //	psq -dispatcher 127.0.0.1:9071 submit -k 4 -rho 0.7,0.9 -policy IF,EF -reps 3
 //	psq -dispatcher 127.0.0.1:9071 submit -detach -k 8 -rho 0.9 -policy IF -reps 5
 //	psq -dispatcher 127.0.0.1:9071 list
+//	psq -dispatcher 127.0.0.1:9071 stats
 //	psq -dispatcher 127.0.0.1:9071 cancel j3
 //
 // An attached submit (the default) streams results back and prints the
@@ -36,6 +37,7 @@ func usage() {
 commands:
   submit   submit a sweep (attached by default; -detach to fire and forget)
   list     list jobs on the dispatcher
+  stats    show dispatcher counters: workers, queue depth, cache hits
   cancel   cancel a running job by id: psq ... cancel <id>
 
 `)
@@ -62,6 +64,8 @@ func main() {
 		runSubmit(ctx, *dispatcher, args)
 	case "list":
 		runList(ctx, *dispatcher)
+	case "stats":
+		runStats(ctx, *dispatcher)
 	case "cancel":
 		runCancel(ctx, *dispatcher, args)
 	default:
@@ -208,6 +212,28 @@ func runList(ctx context.Context, dispatcher string) {
 	fmt.Printf("%-6s %-16s %-9s %9s  %s\n", "id", "name", "state", "progress", "error")
 	for _, j := range jobs {
 		fmt.Printf("%-6s %-16s %-9s %4d/%-4d  %s\n", j.ID, j.Name, j.State, j.Done, j.Total, j.Err)
+	}
+}
+
+func runStats(ctx context.Context, dispatcher string) {
+	cl := &fabric.Client{Addr: dispatcher}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workers     %d\n", st.Workers)
+	fmt.Printf("queue depth %d\n", st.QueueDepth)
+	fmt.Printf("jobs        %d\n", st.Jobs)
+	fmt.Printf("cache hits  %d\n", st.CacheHits)
+	fmt.Printf("requeues    %d\n", st.Requeues)
+	fmt.Printf("handshakes  %d\n", st.Handshakes)
+	fmt.Printf("refusals    %d\n", st.Refusals)
+	if st.CacheLen > 0 || st.CacheStats != nil {
+		fmt.Printf("cache len   %d\n", st.CacheLen)
+	}
+	if cs := st.CacheStats; cs != nil {
+		fmt.Printf("cache lru   hits=%d misses=%d evictions=%d rejected=%d bytes=%d\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.Rejected, cs.Bytes)
 	}
 }
 

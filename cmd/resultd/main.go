@@ -1,0 +1,125 @@
+// Command resultd is the always-on results service: an HTTP daemon that
+// answers sweep-spec POSTs from a memory-speed cache, coalesces concurrent
+// identical requests into one computation, and streams partial aggregates
+// for long sweeps over SSE (internal/serve).
+//
+//	resultd -listen 127.0.0.1:9080
+//	resultd -listen :0 -addr-file resultd.addr -backend fabric -dispatcher 127.0.0.1:9071
+//	resultd -backend proc -procs 4 -cache cells.jsonl
+//
+//	curl -s -X POST --data @spec.json http://127.0.0.1:9080/v1/sweep
+//	curl -sN -X POST --data @spec.json http://127.0.0.1:9080/v1/sweep/stream
+//	curl -s http://127.0.0.1:9080/v1/stats
+//
+// The spec body is the JSON serialization of an exp.Sweep — the same grid
+// cmd/simulate builds from its flags — and the served bytes are identical,
+// byte for byte, to `simulate -json` for that spec. A -cache file gives the
+// in-memory layers a persistent cell-granularity floor: after a restart,
+// previously computed cells are re-served from disk instead of recomputed.
+//
+// -listen accepts ":0" to pick a free port; -addr-file then publishes the
+// actual address for scripts (the CI serving gate uses exactly this).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/fabric"
+	"repro/internal/serve"
+)
+
+func main() {
+	exp.MaybeServeWorker() // answer the ProcBackend protocol when spawned as a worker
+	log.SetFlags(0)
+	log.SetPrefix("resultd: ")
+	var (
+		listen     = flag.String("listen", "127.0.0.1:9080", "address to listen on (\":0\" picks a free port)")
+		addrFile   = flag.String("addr-file", "", "write the actual listen address to this file (for scripts with -listen :0)")
+		backend    = flag.String("backend", "pool", "compute backend for cache misses: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
+		procs      = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
+		dispatch   = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
+		workers    = flag.Int("workers", 0, "worker pool size for -backend pool (0 = GOMAXPROCS)")
+		cachePath  = flag.String("cache", "", "JSONL cell cache shared with simulate -cache; persists computed cells across restarts")
+		maxEntries = flag.Int("max-entries", 0, "response cache entry cap (0 = default 16Ki)")
+		maxBytes   = flag.Int64("max-bytes", 0, "response cache byte cap (0 = default 256 MiB)")
+		maxCells   = flag.Int("max-cells", 0, "largest admitted grid, in cells (0 = default 4096)")
+		maxBody    = flag.Int64("max-body", 0, "largest admitted spec body, in bytes (0 = default 1 MiB)")
+		inflight   = flag.Int("max-inflight", 0, "concurrent distinct computations before misses get 503 (0 = default 4)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	opts := serve.Options{
+		Exp:          exp.Options{Workers: *workers},
+		MaxEntries:   *maxEntries,
+		MaxBytes:     *maxBytes,
+		MaxCells:     *maxCells,
+		MaxBodyBytes: *maxBody,
+		MaxInflight:  *inflight,
+		Logf:         log.Printf,
+	}
+	switch *backend {
+	case "pool":
+	case "proc":
+		opts.Exp.Backend = &exp.ProcBackend{Procs: *procs}
+	case "fabric":
+		if *dispatch == "" {
+			log.Fatal("-backend fabric requires -dispatcher host:port")
+		}
+		opts.Exp.Backend = &fabric.Backend{Addr: *dispatch, Name: "resultd"}
+	default:
+		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
+	}
+	if *cachePath != "" {
+		fc, err := exp.OpenFileCache(*cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if msg := exp.CorruptWarning(*cachePath, fc.Corrupt()); msg != "" {
+			log.Print(msg)
+		}
+		defer fc.Close()
+		log.Printf("cell cache %s: %d entries", *cachePath, fc.Len())
+		opts.Exp.Cache = fc
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (backend %s)", ln.Addr(), *backend)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := serve.New(opts)
+	defer s.Close()
+	srv := &http.Server{Handler: s}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

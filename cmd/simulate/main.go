@@ -186,8 +186,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if n := fc.Corrupt(); n > 0 {
-			log.Printf("warning: cache %s: skipped %d corrupt line(s); the affected cells will be recomputed", *cache, n)
+		if msg := exp.CorruptWarning(*cache, fc.Corrupt()); msg != "" {
+			log.Print(msg)
 		}
 		defer fc.Close()
 		opt.Cache = fc

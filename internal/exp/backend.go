@@ -10,6 +10,7 @@ package exp
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -119,6 +120,42 @@ func (t Task) Label() string {
 		return fmt.Sprintf("dominance %s-vs-%s seed %d", d.PolicyA, d.PolicyB, d.Seed)
 	}
 	return "empty task"
+}
+
+// TaskKey derives the cache identity of a task for an OutcomeCache. Every
+// task kind is deterministic given its spec — seeds travel inside the spec —
+// so every kind is cacheable. Sim tasks key as the cell's config hash
+// (Sweep.Key, which covers every parameter that determines the numbers)
+// plus the replication index, the exact format the fabric dispatcher has
+// always used; the other kinds key as their kind name plus the spec's
+// canonical JSON (struct field order is fixed, so the encoding is stable).
+// A task with no identity (an empty task, or a Sim spec submitted without
+// its precomputed Key) reports false and is never cached.
+func TaskKey(t Task) (string, bool) {
+	switch {
+	case t.Sim != nil:
+		if t.Sim.Key == "" {
+			return "", false
+		}
+		return fmt.Sprintf("%s|rep=%d", t.Sim.Key, t.Sim.Rep), true
+	case t.Analyze != nil:
+		return specKey("analyze", t.Analyze)
+	case t.Validate != nil:
+		return specKey("validate", t.Validate)
+	case t.Ablation != nil:
+		return specKey("ablation", t.Ablation)
+	case t.Dominance != nil:
+		return specKey("dominance", t.Dominance)
+	}
+	return "", false
+}
+
+func specKey(kind string, spec any) (string, bool) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", false
+	}
+	return kind + "|" + string(b), true
 }
 
 // Outcome is the result of one Task; the field matching the task kind is
@@ -310,19 +347,50 @@ func runDominanceTrace(d DominanceTrace) (DominanceRun, error) {
 
 // submitAll submits tasks on opt's backend and collects the outcomes in
 // task order — the convenience used by the figure drivers, which have no
-// per-task streaming needs. Each outcome is checked against its task's
-// kind, so a misbehaving custom backend (or a drifted worker binary that
-// answers with empty outcomes) surfaces as a clear error instead of a nil
-// dereference in the driver.
+// per-task streaming needs. When Options.TaskCache is set it is consulted
+// first (keyed by TaskKey) and only the misses reach the backend; a hit is
+// kind-checked like any backend result, so a stale or mismatched cache
+// entry falls through to recomputation instead of corrupting the driver.
+// Each outcome is checked against its task's kind, so a misbehaving custom
+// backend (or a drifted worker binary that answers with empty outcomes)
+// surfaces as a clear error instead of a nil dereference in the driver.
 func submitAll(ctx context.Context, opt Options, env Env, tasks []Task) ([]Outcome, error) {
 	out := make([]Outcome, len(tasks))
+	missing := make([]int, 0, len(tasks))
+	var sub []Task
+	for i, t := range tasks {
+		if opt.TaskCache != nil {
+			if key, ok := TaskKey(t); ok {
+				if o, hit := opt.TaskCache.GetOutcome(key); hit && t.checkOutcome(o) == nil {
+					out[i] = o
+					continue
+				}
+			}
+		}
+		missing = append(missing, i)
+		sub = append(sub, t)
+	}
+	if len(sub) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	var mu sync.Mutex
-	err := opt.backend().Submit(ctx, env, tasks, func(tr TaskResult) error {
-		if err := tasks[tr.Index].checkOutcome(tr.Outcome); err != nil {
+	err := opt.backend().Submit(ctx, env, sub, func(tr TaskResult) error {
+		i := missing[tr.Index]
+		if err := tasks[i].checkOutcome(tr.Outcome); err != nil {
 			return err
 		}
+		if opt.TaskCache != nil {
+			if key, ok := TaskKey(tasks[i]); ok {
+				if err := opt.TaskCache.PutOutcome(key, tr.Outcome); err != nil {
+					return fmt.Errorf("exp: caching %s: %w", tasks[i].Label(), err)
+				}
+			}
+		}
 		mu.Lock()
-		out[tr.Index] = tr.Outcome
+		out[i] = tr.Outcome
 		mu.Unlock()
 		return nil
 	})

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"repro/internal/lru"
 )
 
 // Cache stores completed cell results keyed by Sweep.Key. The dispatcher
@@ -19,43 +21,74 @@ type Cache interface {
 	Put(key string, cr CellResult) error
 }
 
-// MemCache is an in-memory Cache, safe for concurrent use.
-type MemCache struct {
-	mu sync.RWMutex
-	m  map[string]CellResult
+// OutcomeCache stores individual task outcomes keyed by TaskKey — finer
+// grained than Cache (one entry per task, not per aggregated cell), which is
+// what lets the point drivers (figures, validation, ablation, dominance)
+// memoize their work: those tasks never belong to a Sweep cell, so Cache
+// cannot hold them. FileCache implements both interfaces over one file.
+type OutcomeCache interface {
+	GetOutcome(key string) (Outcome, bool)
+	PutOutcome(key string, out Outcome) error
 }
 
-// NewMemCache returns an empty in-memory cache.
-func NewMemCache() *MemCache { return &MemCache{m: map[string]CellResult{}} }
+// Default caps of NewMemCache. A CellResult with a handful of replications
+// runs a few KB of JSON, so 32Ki entries under a 256 MiB byte cap holds any
+// realistic working set while bounding a sustained distinct-spec load.
+const (
+	defaultMemCacheEntries = 1 << 15
+	defaultMemCacheBytes   = 256 << 20
+)
+
+// MemCache is an in-memory Cache bounded by entry count and accounted bytes
+// with LRU eviction (internal/lru); entries are accounted at their JSON
+// size. Safe for concurrent use.
+type MemCache struct {
+	c *lru.Cache[CellResult]
+}
+
+// NewMemCache returns an in-memory cache with the default caps.
+func NewMemCache() *MemCache {
+	return NewMemCacheSized(defaultMemCacheEntries, defaultMemCacheBytes)
+}
+
+// NewMemCacheSized returns an in-memory cache capped at maxEntries entries
+// and maxBytes accounted bytes; a cap <= 0 leaves that axis unbounded.
+func NewMemCacheSized(maxEntries int, maxBytes int64) *MemCache {
+	return &MemCache{c: lru.New[CellResult](maxEntries, maxBytes)}
+}
 
 // Get implements Cache.
-func (c *MemCache) Get(key string) (CellResult, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	cr, ok := c.m[key]
-	return cr, ok
-}
+func (c *MemCache) Get(key string) (CellResult, bool) { return c.c.Get(key) }
 
 // Put implements Cache.
 func (c *MemCache) Put(key string, cr CellResult) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[key] = cr
+	c.c.Put(key, cr, jsonSize(key, cr))
 	return nil
 }
 
 // Len returns the number of cached cells.
-func (c *MemCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+func (c *MemCache) Len() int { return c.c.Len() }
+
+// Stats snapshots the hit/miss/eviction counters and occupancy.
+func (c *MemCache) Stats() lru.Stats { return c.c.Stats() }
+
+// jsonSize accounts a cached value's footprint as its JSON size plus its
+// key — the same bytes it would occupy in a FileCache, a stable proxy for
+// the in-memory footprint that needs no unsafe introspection.
+func jsonSize(key string, v any) int64 {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return int64(len(key))
+	}
+	return int64(len(key) + len(b))
 }
 
-// FileCache is a Cache persisted as JSON lines — one completed cell per
-// line, appended and flushed as each cell finishes, so an interrupted sweep
-// loses at most the in-flight cells. A corrupt line (e.g. truncated by a
-// hard kill mid-append) is skipped on load and counted (Corrupt): cached
-// entries are only an optimization, never the source of truth.
+// FileCache persists results as JSON lines — one completed cell (or task
+// outcome, see PutOutcome) per line, appended and flushed as each finishes,
+// so an interrupted sweep loses at most the in-flight entries. A corrupt
+// line (e.g. truncated by a hard kill mid-append) is skipped on load and
+// counted (Corrupt): cached entries are only an optimization, never the
+// source of truth.
 //
 // Concurrency contract: within one process the cache is safe for any
 // number of goroutines. Across processes, the file is opened O_APPEND and
@@ -71,17 +104,22 @@ type FileCache struct {
 	path    string
 	f       *os.File // lazily-opened O_APPEND handle, held for the cache's lifetime
 	mem     map[string]CellResult
+	outMem  map[string]Outcome
 	corrupt int
 }
 
+// fileCacheRecord is one line of the file: a cell record sets Result, a
+// task-outcome record sets Out. Cell records marshal byte-identically to
+// the pre-outcome format, so existing cache files load unchanged.
 type fileCacheRecord struct {
-	Key    string     `json:"key"`
-	Result CellResult `json:"result"`
+	Key    string      `json:"key"`
+	Result *CellResult `json:"result,omitempty"`
+	Out    *Outcome    `json:"out,omitempty"`
 }
 
 // OpenFileCache loads (or creates on first Put) the cache at path.
 func OpenFileCache(path string) (*FileCache, error) {
-	fc := &FileCache{path: path, mem: map[string]CellResult{}}
+	fc := &FileCache{path: path, mem: map[string]CellResult{}, outMem: map[string]Outcome{}}
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -102,7 +140,14 @@ func OpenFileCache(path string) (*FileCache, error) {
 			fc.corrupt++ // skip but count corrupt lines; see type comment
 			continue
 		}
-		fc.mem[rec.Key] = rec.Result
+		switch {
+		case rec.Result != nil:
+			fc.mem[rec.Key] = *rec.Result
+		case rec.Out != nil:
+			fc.outMem[rec.Key] = *rec.Out
+		default:
+			fc.corrupt++ // a record carrying neither kind is as useless as an undecodable one
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("exp: reading cache %s: %w", path, err)
@@ -122,7 +167,38 @@ func (c *FileCache) Get(key string) (CellResult, bool) {
 // persistent O_APPEND handle, one write(2) per record — and fsynced before
 // the in-memory index is updated.
 func (c *FileCache) Put(key string, cr CellResult) error {
-	line, err := json.Marshal(fileCacheRecord{Key: key, Result: cr})
+	if err := c.appendRecord(fileCacheRecord{Key: key, Result: &cr}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.mem[key] = cr
+	c.mu.Unlock()
+	return nil
+}
+
+// GetOutcome implements OutcomeCache.
+func (c *FileCache) GetOutcome(key string) (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.outMem[key]
+	return out, ok
+}
+
+// PutOutcome implements OutcomeCache; outcome records share the cell
+// records' file and durability discipline.
+func (c *FileCache) PutOutcome(key string, out Outcome) error {
+	if err := c.appendRecord(fileCacheRecord{Key: key, Out: &out}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.outMem[key] = out
+	c.mu.Unlock()
+	return nil
+}
+
+// appendRecord writes one record through the persistent handle and fsyncs.
+func (c *FileCache) appendRecord(rec fileCacheRecord) error {
+	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("exp: encoding cache record: %w", err)
 	}
@@ -142,7 +218,6 @@ func (c *FileCache) Put(key string, cr CellResult) error {
 	if err := c.f.Sync(); err != nil {
 		return fmt.Errorf("exp: syncing cache: %w", err)
 	}
-	c.mem[key] = cr
 	return nil
 }
 
@@ -163,18 +238,36 @@ func (c *FileCache) Close() error {
 	return nil
 }
 
-// Len returns the number of cached cells.
+// Len returns the number of cached cells (outcome records not included).
 func (c *FileCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.mem)
 }
 
+// OutcomeLen returns the number of cached task outcomes.
+func (c *FileCache) OutcomeLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.outMem)
+}
+
 // Corrupt reports how many undecodable lines the load skipped — nonzero
 // after a hard kill mid-append or a concurrent-writer interleaving, and
-// worth surfacing to the user (cmd/simulate warns when it is not zero).
+// worth surfacing to the user (see CorruptWarning).
 func (c *FileCache) Corrupt() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.corrupt
+}
+
+// CorruptWarning renders the standard corrupt-cache warning, or "" when the
+// load skipped nothing. Every cache-flagged cmd (simulate, figures,
+// dominance) reports through it, so a mangled cache file reads identically
+// everywhere.
+func CorruptWarning(path string, skipped int) string {
+	if skipped <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("warning: cache %s: skipped %d corrupt line(s); the affected entries will be recomputed", path, skipped)
 }

@@ -103,6 +103,13 @@ type Options struct {
 	// cache is only ever touched by the submitting process, never by
 	// ProcBackend workers.
 	Cache Cache
+	// TaskCache, when non-nil, memoizes individual task outcomes keyed by
+	// TaskKey. It is consulted by the point drivers (figures, validation,
+	// ablation, dominance — see submitAll), whose tasks never belong to a
+	// Sweep cell and so cannot land in Cache; sweeps keep their coarser
+	// cell-granularity caching. Like Cache it is only touched by the
+	// submitting process.
+	TaskCache OutcomeCache
 	// Backend executes the tasks; nil means PoolBackend{Workers: Workers}
 	// (goroutines of this process). Use &ProcBackend{...} to shard tasks
 	// across worker subprocesses.
@@ -147,6 +154,41 @@ func (sw Sweep) Tasks() ([]Task, error) {
 // cells that completed before the interruption are in the cache (if one was
 // given).
 func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
+	return RunProgress(ctx, sw, opt, nil)
+}
+
+// Progress is one progress event of RunProgress: a cell gained a finished
+// replication (or was served whole from the cache). Events for one cell are
+// monotone in DoneReps; the event with DoneReps == TotalReps carries the
+// cell's final aggregate in Partial.
+type Progress struct {
+	// CellIndex positions the cell in the sweep's Grid.Cells() order — the
+	// same order ResultSet.Cells uses.
+	CellIndex int
+	// DoneReps counts the replications aggregated into Partial, of
+	// TotalReps.
+	DoneReps  int
+	TotalReps int
+	// FromCache marks a cell answered whole from Options.Cache; its single
+	// event has DoneReps == TotalReps.
+	FromCache bool
+	// Partial aggregates the replications that have arrived so far, in
+	// replication-index order — the same deterministic order the final
+	// aggregate uses, so CIs tighten monotonically in expectation and the
+	// last event's Partial equals the cell's ResultSet entry exactly.
+	Partial CellResult
+}
+
+// RunProgress is Run with a progress stream: onProgress (when non-nil) is
+// invoked after every finished replication with the owning cell's partial
+// aggregate — this is what lets a serving layer stream CIs that tighten
+// live instead of forcing clients to poll for the final ResultSet. Events
+// are delivered serially (never concurrently) and in a deterministic
+// per-cell order, but interleaving across cells follows completion order;
+// onProgress must not block for long, since it is called on the result
+// path. Partial aggregation is skipped entirely when onProgress is nil, so
+// Run pays nothing for the capability.
+func RunProgress(ctx context.Context, sw Sweep, opt Options, onProgress func(Progress)) (*ResultSet, error) {
 	if err := sw.validate(); err != nil {
 		return nil, err
 	}
@@ -158,15 +200,20 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 	var pending []slot
 	var tasks []Task
 	repsByCell := make([][]Replication, len(cells))
+	got := make([][]bool, len(cells))
 	left := make([]int, len(cells))
 	for ci, c := range cells {
 		if opt.Cache != nil {
 			if cr, ok := opt.Cache.Get(sw.Key(c)); ok {
 				rs.Cells[ci] = cr
+				if onProgress != nil {
+					onProgress(Progress{CellIndex: ci, DoneReps: reps, TotalReps: reps, FromCache: true, Partial: cr})
+				}
 				continue
 			}
 		}
 		repsByCell[ci] = make([]Replication, reps)
+		got[ci] = make([]bool, reps)
 		left[ci] = reps
 		key := sw.Key(c)
 		for rep := 0; rep < reps; rep++ {
@@ -185,12 +232,32 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*ResultSet, error) {
 		}
 		mu.Lock()
 		repsByCell[t.ci][t.rep] = *tr.Outcome.Rep
+		got[t.ci][t.rep] = true
 		left[t.ci]--
 		done := left[t.ci] == 0
 		var cr CellResult
 		if done {
 			cr = aggregate(cells[t.ci], repsByCell[t.ci])
 			rs.Cells[t.ci] = cr
+		}
+		if onProgress != nil {
+			// The partial aggregate covers exactly the arrived replications,
+			// in index order (completion order never leaks into aggregates).
+			// Holding mu across the callback keeps events serial and each
+			// cell's DoneReps monotone.
+			ev := Progress{CellIndex: t.ci, DoneReps: reps - left[t.ci], TotalReps: reps}
+			if done {
+				ev.Partial = cr
+			} else {
+				arrived := make([]Replication, 0, ev.DoneReps)
+				for rep, ok := range got[t.ci] {
+					if ok {
+						arrived = append(arrived, repsByCell[t.ci][rep])
+					}
+				}
+				ev.Partial = aggregate(cells[t.ci], arrived)
+			}
+			onProgress(ev)
 		}
 		mu.Unlock()
 		if done && opt.Cache != nil {

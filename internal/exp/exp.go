@@ -311,6 +311,11 @@ func (sw Sweep) seed() uint64 {
 
 func (sw Sweep) collectSeries() bool { return sw.AutoWarmup || sw.Batches > 1 }
 
+// Validate checks the sweep the same way Run does before executing it —
+// the exported face for services (internal/serve) that must reject a bad
+// client spec at admission time, before any scheduling happens.
+func (sw Sweep) Validate() error { return sw.validate() }
+
 func (sw Sweep) validate() error {
 	if sw.Jobs <= 0 {
 		return fmt.Errorf("exp: sweep %q needs Jobs > 0", sw.Name)

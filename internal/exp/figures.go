@@ -15,8 +15,10 @@ import (
 // serializable task submitted to opt's Backend (the in-process goroutine
 // pool by default, worker subprocesses under ProcBackend), so a
 // figure-scale sweep scales with the hardware while producing exactly the
-// same points in the same order. Options.Cache is ignored here — only
-// Sweep cells are cached.
+// same points in the same order. Options.Cache (cell granularity) does not
+// apply to these drivers — their tasks belong to no Sweep cell — but
+// Options.TaskCache memoizes the individual grid points, keyed by
+// exp.TaskKey, so a re-run of a figure recomputes only what changed.
 
 // DefaultMuGrid reproduces the paper's 0.25..3.5 axes.
 func DefaultMuGrid() []float64 {
@@ -200,6 +202,10 @@ type DominanceConfig struct {
 	// Backend optionally overrides where the traces run (nil means the
 	// in-process pool with Workers goroutines).
 	Backend Backend
+	// Cache optionally memoizes per-trace outcomes keyed by exp.TaskKey, so
+	// repeating the experiment (or extending Seeds) recomputes only the
+	// missing traces.
+	Cache OutcomeCache
 }
 
 // DominanceRun is the outcome of one coupled trace.
@@ -247,7 +253,7 @@ func Dominance(ctx context.Context, cfg DominanceConfig) ([]DominanceRun, error)
 			Arrivals: cfg.Arrivals, Tol: tol, Seed: uint64(i + 1),
 		}}
 	}
-	outs, err := submitAll(ctx, Options{Workers: cfg.Workers, Backend: cfg.Backend}, Env{}, tasks)
+	outs, err := submitAll(ctx, Options{Workers: cfg.Workers, Backend: cfg.Backend, TaskCache: cfg.Cache}, Env{}, tasks)
 	if err != nil {
 		return nil, err
 	}

@@ -138,6 +138,30 @@ func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
 	return resp.Jobs, nil
 }
 
+// Stats fetches the dispatcher's operational counters (worker count, queue
+// depth, cache hits, ...) — the transport behind `psq stats`.
+func (c *Client) Stats(ctx context.Context) (StatsReply, error) {
+	sess, err := dialFabric(ctx, c.Addr, c.DialTimeout)
+	if err != nil {
+		return StatsReply{}, err
+	}
+	defer sess.close()
+	if err := sess.send(clientReq{Stats: true}); err != nil {
+		return StatsReply{}, fmt.Errorf("fabric: requesting stats: %w", err)
+	}
+	var resp clientResp
+	if err := sess.read(&resp); err != nil {
+		return StatsReply{}, fmt.Errorf("fabric: reading stats: %w", err)
+	}
+	if resp.Err != "" {
+		return StatsReply{}, errors.New(resp.Err)
+	}
+	if resp.Stats == nil {
+		return StatsReply{}, fmt.Errorf("fabric: dispatcher answered without stats (older dispatcher binary?)")
+	}
+	return *resp.Stats, nil
+}
+
 // Cancel cancels a running job by ID.
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	sess, err := dialFabric(ctx, c.Addr, c.DialTimeout)

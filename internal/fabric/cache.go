@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/exp"
+	"repro/internal/lru"
 )
 
 // OutcomeCache stores finished task outcomes keyed by task identity
@@ -28,39 +29,54 @@ type OutcomeCache interface {
 	Put(key string, out exp.Outcome) error
 }
 
-// MemOutcomeCache is an in-memory OutcomeCache, safe for concurrent use.
+// Default caps of NewMemOutcomeCache. Raw task outcomes are smaller than
+// aggregated cells (one replication each, a few hundred bytes to a few KB of
+// JSON), so the entry cap is generous; the byte cap is the real bound under
+// sustained distinct-spec load.
+const (
+	defaultOutcomeCacheEntries = 1 << 17
+	defaultOutcomeCacheBytes   = 256 << 20
+)
+
+// MemOutcomeCache is an in-memory OutcomeCache bounded by entry count and
+// accounted bytes with LRU eviction (internal/lru); entries are accounted
+// at their JSON size. Safe for concurrent use.
 type MemOutcomeCache struct {
-	mu sync.RWMutex
-	m  map[string]exp.Outcome
+	c *lru.Cache[exp.Outcome]
 }
 
-// NewMemOutcomeCache returns an empty in-memory outcome cache.
+// NewMemOutcomeCache returns an in-memory outcome cache with the default
+// caps.
 func NewMemOutcomeCache() *MemOutcomeCache {
-	return &MemOutcomeCache{m: make(map[string]exp.Outcome)}
+	return NewMemOutcomeCacheSized(defaultOutcomeCacheEntries, defaultOutcomeCacheBytes)
+}
+
+// NewMemOutcomeCacheSized returns an in-memory outcome cache capped at
+// maxEntries entries and maxBytes accounted bytes; a cap <= 0 leaves that
+// axis unbounded.
+func NewMemOutcomeCacheSized(maxEntries int, maxBytes int64) *MemOutcomeCache {
+	return &MemOutcomeCache{c: lru.New[exp.Outcome](maxEntries, maxBytes)}
 }
 
 // Get implements OutcomeCache.
-func (c *MemOutcomeCache) Get(key string) (exp.Outcome, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out, ok := c.m[key]
-	return out, ok
-}
+func (c *MemOutcomeCache) Get(key string) (exp.Outcome, bool) { return c.c.Get(key) }
 
 // Put implements OutcomeCache.
 func (c *MemOutcomeCache) Put(key string, out exp.Outcome) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[key] = out
+	size := int64(len(key))
+	if b, err := json.Marshal(out); err == nil {
+		size += int64(len(b))
+	}
+	c.c.Put(key, out, size)
 	return nil
 }
 
 // Len returns the number of cached outcomes.
-func (c *MemOutcomeCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
-}
+func (c *MemOutcomeCache) Len() int { return c.c.Len() }
+
+// Stats snapshots the hit/miss/eviction counters and occupancy; the
+// dispatcher surfaces them through psq stats.
+func (c *MemOutcomeCache) Stats() lru.Stats { return c.c.Stats() }
 
 // FileOutcomeCache persists outcomes as JSON lines, one per finished task,
 // appended and flushed as results arrive — the same crash-tolerant layout

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/lru"
 	"repro/internal/wire"
 )
 
@@ -219,6 +220,38 @@ func (d *Dispatcher) WorkerCount() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.workers)
+}
+
+// QueueDepth reports the number of queued, not-yet-assigned tasks.
+func (d *Dispatcher) QueueDepth() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.queue)
+}
+
+// Stats snapshots the dispatcher's operational counters — the payload of a
+// psq stats request. Cache occupancy (and, for MemOutcomeCache, the LRU
+// hit/eviction counters) is included when an outcome cache is configured.
+func (d *Dispatcher) Stats() StatsReply {
+	d.mu.Lock()
+	st := StatsReply{
+		Workers:    len(d.workers),
+		QueueDepth: len(d.queue),
+		Jobs:       len(d.jobs),
+	}
+	d.mu.Unlock()
+	st.CacheHits = d.cacheHits.Load()
+	st.Requeues = d.requeues.Load()
+	st.Handshakes = d.handshakes.Load()
+	st.Refusals = d.refusals.Load()
+	if c, ok := d.opts.Cache.(interface{ Len() int }); ok {
+		st.CacheLen = c.Len()
+	}
+	if c, ok := d.opts.Cache.(interface{ Stats() lru.Stats }); ok {
+		s := c.Stats()
+		st.CacheStats = &s
+	}
+	return st
 }
 
 // Jobs reports every job in submission order.
@@ -619,6 +652,9 @@ func (d *Dispatcher) handleClient(conn net.Conn, br *bufio.Reader, bw *bufio.Wri
 	switch {
 	case req.List:
 		reply(clientResp{Jobs: d.Jobs(), OK: true})
+	case req.Stats:
+		st := d.Stats()
+		reply(clientResp{Stats: &st, OK: true})
 	case req.Cancel != "":
 		d.mu.Lock()
 		j := d.jobs[req.Cancel]

@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"repro/internal/exp"
+	"repro/internal/lru"
 )
 
 // protoVersion guards against mixed dispatcher/worker/client binaries: the
@@ -102,6 +103,8 @@ type clientReq struct {
 	Submit *submitReq `json:"submit,omitempty"`
 	List   bool       `json:"list,omitempty"`
 	Cancel string     `json:"cancel,omitempty"`
+	// Stats requests the dispatcher's operational counters (psq stats).
+	Stats bool `json:"stats,omitempty"`
 }
 
 // submitReq submits a batch of tasks as one job. Detached jobs run to
@@ -124,6 +127,8 @@ type clientResp struct {
 	Done *doneMsg `json:"done,omitempty"`
 	// Jobs answers a list request.
 	Jobs []JobStatus `json:"jobs,omitempty"`
+	// Stats answers a stats request.
+	Stats *StatsReply `json:"stats,omitempty"`
 	// OK acknowledges a cancel.
 	OK bool `json:"ok,omitempty"`
 	// Err reports a request-level failure (unknown job, bad submit, ...).
@@ -144,6 +149,23 @@ type streamMsg struct {
 // cancellation), surfaced exactly once.
 type doneMsg struct {
 	Err string `json:"err,omitempty"`
+}
+
+// StatsReply is the dispatcher's operational snapshot, as reported to psq
+// stats: the numbers the Dispatcher accessors (WorkerCount, CacheHits, ...)
+// already expose in-process, made reachable over the wire. CacheLen and
+// CacheStats appear only when an outcome cache is configured (CacheStats
+// only for caches that expose lru.Stats, i.e. MemOutcomeCache).
+type StatsReply struct {
+	Workers    int        `json:"workers"`
+	QueueDepth int        `json:"queueDepth"`
+	Jobs       int        `json:"jobs"`
+	CacheHits  int64      `json:"cacheHits"`
+	Requeues   int64      `json:"requeues"`
+	Handshakes int64      `json:"handshakes"`
+	Refusals   int64      `json:"refusals"`
+	CacheLen   int        `json:"cacheLen,omitempty"`
+	CacheStats *lru.Stats `json:"cacheStats,omitempty"`
 }
 
 // JobStatus is one job's public state, as reported to psq list.
@@ -176,15 +198,10 @@ func EnvProbe() string {
 	return fmt.Sprintf("v%d|%s|%016x|%016x", protoVersion, sw.Key(c), sw.RepSeed(c, 0), sw.RepSeed(c, 1))
 }
 
-// taskCacheKey derives the dispatcher-cache key of a task. Only sweep
-// replications are cacheable: their TaskSpec carries the cell's config hash
-// (Sweep.Key), which covers every parameter that determines the numbers, so
-// appending the replication index yields a complete task identity. Other
-// task kinds (analysis points, dominance traces) carry no key and always
-// execute.
-func taskCacheKey(t exp.Task) (string, bool) {
-	if t.Sim == nil || t.Sim.Key == "" {
-		return "", false
-	}
-	return fmt.Sprintf("%s|rep=%d", t.Sim.Key, t.Sim.Rep), true
-}
+// taskCacheKey derives the dispatcher-cache key of a task, delegating to
+// exp.TaskKey — the same derivation the submitting-process OutcomeCache
+// uses. Sim tasks keep the dispatcher's historical key format (the cell's
+// config hash plus the replication index), so caches filled by older
+// dispatchers stay valid; analysis points, validation rows, ablations and
+// dominance traces are deterministic given their specs and now cache too.
+func taskCacheKey(t exp.Task) (string, bool) { return exp.TaskKey(t) }

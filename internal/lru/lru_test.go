@@ -1,0 +1,131 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEntryCapEvictsColdest(t *testing.T) {
+	c := New[int](3, 0)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 1)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("k0 (coldest) should have been evicted")
+	}
+	for i := 1; i < 4; i++ {
+		if v, ok := c.Get(fmt.Sprintf("k%d", i)); !ok || v != i {
+			t.Fatalf("k%d = %d, %t; want %d, true", i, v, ok, i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New[int](2, 0)
+	c.Put("a", 1, 1)
+	c.Put("b", 2, 1)
+	c.Get("a") // a becomes most recent; b is now coldest
+	c.Put("c", 3, 1)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted, not a")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was refreshed by Get and must survive")
+	}
+}
+
+func TestByteCap(t *testing.T) {
+	c := New[string](0, 100)
+	c.Put("a", "x", 40)
+	c.Put("b", "y", 40)
+	c.Put("c", "z", 40) // 120 bytes: "a" must go
+	if got := c.Bytes(); got != 80 {
+		t.Fatalf("Bytes = %d, want 80", got)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by the byte cap")
+	}
+	// Replacing a key re-accounts its size.
+	c.Put("b", "Y", 10)
+	if got := c.Bytes(); got != 50 {
+		t.Fatalf("Bytes after resize = %d, want 50", got)
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c := New[string](0, 100)
+	c.Put("small", "v", 10)
+	c.Put("huge", "V", 200)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("an entry larger than the byte cap must not be admitted")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("rejecting an oversized value must not evict existing entries")
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Evictions != 0 {
+		t.Fatalf("Stats = %+v, want Rejected=1 Evictions=0", st)
+	}
+}
+
+func TestCountersAndGetBytes(t *testing.T) {
+	c := New[int](4, 0)
+	c.Put("a", 1, 1)
+	if _, ok := c.GetBytes([]byte("a")); !ok {
+		t.Fatal("GetBytes miss on existing key")
+	}
+	c.Get("nope")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("Hits/Misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.Entries != 1 || st.MaxEntries != 4 {
+		t.Fatalf("Entries/MaxEntries = %d/%d, want 1/4", st.Entries, st.MaxEntries)
+	}
+}
+
+func TestUnboundedAxes(t *testing.T) {
+	c := New[int](0, 0)
+	for i := 0; i < 10_000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 1)
+	}
+	if c.Len() != 10_000 {
+		t.Fatalf("unbounded cache evicted: Len = %d", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("unbounded cache recorded %d evictions", st.Evictions)
+	}
+}
+
+// TestConcurrentChurn drives the cache from many goroutines under -race; the
+// invariant checked at the end is that occupancy respects both caps.
+func TestConcurrentChurn(t *testing.T) {
+	c := New[int](64, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%200)
+				if i%3 == 0 {
+					c.Get(k)
+				} else {
+					c.Put(k, i, int64(i%40))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 64 || st.Bytes > 1024 {
+		t.Fatalf("caps violated after churn: %+v", st)
+	}
+}

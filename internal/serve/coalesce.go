@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/exp"
+)
+
+// flight is one in-progress computation of a sweep, shared by every request
+// that asked for the same canonical spec while it runs. Plain waiters block
+// on done; SSE subscribers additionally replay events — the rendered
+// progress stream — from any index, so a subscriber that joins mid-flight
+// sees the full history before going live.
+//
+// The flight runs on the *server's* base context, deliberately detached
+// from any request context: a waiter that disconnects must not cancel work
+// other waiters (and the cache) are counting on.
+type flight struct {
+	key string
+
+	mu     sync.Mutex
+	events [][]byte      // rendered progress-event JSON, in emit order
+	update chan struct{} // closed and replaced on every append
+
+	done chan struct{} // closed after resp/err are set and events are final
+	resp []byte
+	err  error
+}
+
+func newFlight(key string) *flight {
+	return &flight{
+		key:    key,
+		update: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// progressEvent is the SSE "progress" payload: one line of the partial
+// aggregate per finished replication — enough for a client to watch a
+// cell's CI tighten without waiting for the full ResultSet.
+type progressEvent struct {
+	Cell      int     `json:"cell"`
+	DoneReps  int     `json:"doneReps"`
+	TotalReps int     `json:"totalReps"`
+	FromCache bool    `json:"fromCache,omitempty"`
+	ET        float64 `json:"et"`
+	ETCI      float64 `json:"etCI"`
+}
+
+// record is the exp.RunProgress callback: render the event once and wake
+// every subscriber. RunProgress serializes callbacks, but append under the
+// flight's own lock anyway — subscribers read events concurrently.
+func (f *flight) record(p exp.Progress) {
+	ev, err := json.Marshal(progressEvent{
+		Cell:      p.CellIndex,
+		DoneReps:  p.DoneReps,
+		TotalReps: p.TotalReps,
+		FromCache: p.FromCache,
+		ET:        p.Partial.ET,
+		ETCI:      p.Partial.ETCI,
+	})
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	f.events = append(f.events, ev)
+	close(f.update)
+	f.update = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// snapshot returns the events at index >= from plus the channel that will
+// be closed on the next append — the subscriber's poll-free wait handle.
+func (f *flight) snapshot(from int) ([][]byte, chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.events[from:], f.update
+}
+
+// getFlight joins the in-progress flight for key, or starts one. A join is
+// free (the backend work is already paid for) and always admitted; starting
+// a new flight is refused with 503 once MaxInflight computations are
+// running.
+func (s *Server) getFlight(key string, sw exp.Sweep) (*flight, int, error) {
+	s.mu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		return f, 0, nil
+	}
+	if s.inflight >= s.opts.MaxInflight {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: %d computations already in flight (cap %d); retry shortly", s.opts.MaxInflight, s.opts.MaxInflight)
+	}
+	f := newFlight(key)
+	s.flights[key] = f
+	s.inflight++
+	s.mu.Unlock()
+	s.computations.Add(1)
+	go s.runFlight(f, sw)
+	return f, 0, nil
+}
+
+// runFlight computes the sweep, renders the canonical response bytes
+// (exactly what `simulate -json` writes for this spec), installs them in
+// the response cache, and releases every waiter.
+func (s *Server) runFlight(f *flight, sw exp.Sweep) {
+	rs, err := exp.RunProgress(s.baseCtx, sw, s.opts.Exp, f.record)
+	if err == nil {
+		var buf bytes.Buffer
+		if werr := rs.WriteJSON(&buf); werr != nil {
+			err = fmt.Errorf("serve: rendering result: %w", werr)
+		} else {
+			f.resp = buf.Bytes()
+			s.results.Put(f.key, f.resp, int64(len(f.key)+len(f.resp)))
+		}
+	}
+	if err != nil {
+		f.err = fmt.Errorf("serve: computing sweep: %w", err)
+		s.opts.Logf("serve: flight %.12s failed: %v", f.key, err)
+	}
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	s.inflight--
+	s.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// handleStream is POST /v1/sweep/stream: the same spec resolution as
+// /v1/sweep, answered as a Server-Sent Events stream. A cached spec yields
+// a single "result" event; a miss joins (or starts) the flight and streams
+// one "progress" event per finished replication — the cell's partial
+// aggregate, its CI tightening live — then the final "result" (or "error")
+// event. Late joiners are replayed the flight's history first.
+//
+// The "result" data is the canonical ResultSet JSON split across data:
+// lines; rejoining them with newlines (plus the SSE-stripped trailing one)
+// reproduces `simulate -json` byte-for-byte.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	key, sw, ok := s.readSpec(w, r)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if resp, hit := s.results.Get(key); hit {
+		s.hits.Add(1)
+		sseHeaders(w)
+		writeSSEEvent(w, "result", resp)
+		flush()
+		return
+	}
+	f, status, err := s.getFlight(key, sw)
+	if err != nil {
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	sseHeaders(w)
+	flush()
+	next := 0
+	final := func() {
+		evs, _ := f.snapshot(next)
+		for _, ev := range evs {
+			writeSSEEvent(w, "progress", ev)
+		}
+		if f.err != nil {
+			writeSSEEvent(w, "error", []byte(f.err.Error()))
+		} else {
+			writeSSEEvent(w, "result", f.resp)
+		}
+		flush()
+	}
+	for {
+		evs, update := f.snapshot(next)
+		next += len(evs)
+		for _, ev := range evs {
+			writeSSEEvent(w, "progress", ev)
+		}
+		if len(evs) > 0 {
+			flush()
+		}
+		select {
+		case <-update:
+		case <-f.done:
+			final()
+			return
+		case <-r.Context().Done():
+			// Subscriber gone; the flight keeps running on the server's
+			// base context for the remaining waiters and the cache.
+			return
+		}
+	}
+}
+
+func sseHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+}
+
+// writeSSEEvent emits one event, splitting multi-line data across data:
+// lines as the SSE framing requires. A trailing newline in data yields a
+// final empty data: line, so a client that rejoins lines with '\n' (and
+// restores the one newline SSE strips from the end) recovers data exactly.
+func writeSSEEvent(w io.Writer, name string, data []byte) {
+	io.WriteString(w, "event: ")
+	io.WriteString(w, name)
+	io.WriteString(w, "\n")
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		io.WriteString(w, "data: ")
+		w.Write(line)
+		io.WriteString(w, "\n")
+	}
+	io.WriteString(w, "\n")
+}

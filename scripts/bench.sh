@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Engine benchmark harness: runs the hot-path benchmarks (two-class and
 # multi-class stepping, the rebuild-vs-incremental occupancy scaling at
-# n in {10, 100, 1k, 10k}, and the end-to-end simulator throughput) and
+# n in {10, 100, 1k, 10k}, the end-to-end simulator throughput, and the
+# internal/serve loopback serving path — cache-hit and coalesced req/sec) and
 # APPENDS one dated entry to BENCH_engine.json via cmd/benchlog, so the
 # perf trajectory across PRs is preserved (a legacy single-snapshot file is
 # migrated into the history's first entry automatically).
@@ -48,9 +49,17 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "==> go test -bench Engine/Throughput (-benchtime $BENCHTIME, best of $BENCH_COUNT)"
-go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
+# -timeout 0 everywhere: the runs are bounded by benchtime x count, and a
+# raised BENCH_COUNT must not trip go test's default 10m package timeout.
+go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' -timeout 0 \
   -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" | tee -a "$RAW"
-go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' \
+go test . -run '^$' -bench 'BenchmarkSimulatorThroughput' -timeout 0 \
+  -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" | tee -a "$RAW"
+
+echo "==> go test -bench BenchmarkServe (-benchtime $BENCHTIME, best of $BENCH_COUNT)"
+# Loopback HTTP serving over real sockets; benchlog records the reported
+# requests/sec metric as the requests_per_sec column and gates it in CI.
+go test ./internal/serve -run '^$' -bench 'BenchmarkServe' -timeout 0 \
   -benchmem -benchtime "$BENCHTIME" -count "$BENCH_COUNT" | tee -a "$RAW"
 
 NOTE="$(git rev-parse --short HEAD 2>/dev/null || echo unversioned) benchtime=$BENCHTIME"

@@ -129,6 +129,92 @@ if "$tmp/psq" -dispatcher "$addr" cancel no-such-job >/dev/null 2>&1; then
 fi
 kill "$disp_pid" "$w2_pid" 2>/dev/null || true
 
+echo "==> serving gate (resultd on a fabric backend: coalescing, byte-identity vs simulate -json, SSE)"
+go build -o "$tmp/resultd" ./cmd/resultd
+# Fresh fabric daemons for the serving layer (the fabric gate above tore
+# its own down), plus resultd fronting them.
+"$tmp/fabricd" -role dispatcher -listen 127.0.0.1:0 -addr-file "$tmp/serve_fabric.addr" \
+  >"$tmp/serve_fabricd.log" 2>&1 &
+sdisp_pid=$!
+for _ in $(seq 1 100); do [ -s "$tmp/serve_fabric.addr" ] && break; sleep 0.1; done
+if [ ! -s "$tmp/serve_fabric.addr" ]; then
+  echo "FAIL: serving-gate fabricd dispatcher did not publish its address" >&2
+  cat "$tmp/serve_fabricd.log" >&2
+  exit 1
+fi
+saddr="$(cat "$tmp/serve_fabric.addr")"
+"$tmp/fabricd" -role worker -dispatcher "$saddr" -slots 2 >"$tmp/serve_worker.log" 2>&1 &
+sworker_pid=$!
+"$tmp/resultd" -listen 127.0.0.1:0 -addr-file "$tmp/resultd.addr" \
+  -backend fabric -dispatcher "$saddr" >"$tmp/resultd.log" 2>&1 &
+resultd_pid=$!
+trap 'kill -9 "$disp_pid" "$w1_pid" "$w2_pid" "$sdisp_pid" "$sworker_pid" "$resultd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do [ -s "$tmp/resultd.addr" ] && break; sleep 0.1; done
+if [ ! -s "$tmp/resultd.addr" ]; then
+  echo "FAIL: resultd did not publish its address" >&2
+  cat "$tmp/resultd.log" >&2
+  exit 1
+fi
+raddr="$(cat "$tmp/resultd.addr")"
+# The spec below is exactly the sweep $sweep_flags makes cmd/simulate build
+# (name "simulate", engine "rebuild", baseSeed 1 are what the flag defaults
+# produce), so the served bytes must equal the pool.json recorded by the
+# dispatch-backend gate — the "same bytes as simulate -json" contract.
+cat > "$tmp/spec.json" <<'EOF'
+{
+  "name": "simulate",
+  "grid": {"k": [2], "rho": [0.5, 0.7], "muI": [1, 2], "muE": [1], "policies": ["IF", "EF"]},
+  "reps": 2, "baseSeed": 1, "warmup": 200, "jobs": 2000, "tail": true, "engine": "rebuild"
+}
+EOF
+# 8 concurrent identical POSTs: the coalescer must fold them into ONE
+# backend computation (later arrivals may be plain cache hits — either way
+# the computation count stays 1) and hand every client identical bytes.
+curl_pids=()
+for i in $(seq 1 8); do
+  curl -s -X POST --data-binary @"$tmp/spec.json" "http://$raddr/v1/sweep" \
+    -o "$tmp/resp$i.json" &
+  curl_pids+=($!)
+done
+for pid in "${curl_pids[@]}"; do
+  wait "$pid" || { echo "FAIL: a POST to resultd failed" >&2; cat "$tmp/resultd.log" >&2; exit 1; }
+done
+for i in $(seq 1 8); do
+  if ! cmp "$tmp/pool.json" "$tmp/resp$i.json"; then
+    echo "FAIL: served response $i differs from simulate -json" >&2
+    exit 1
+  fi
+done
+echo "    8 concurrent clients served byte-identically to simulate -json ($(wc -c < "$tmp/resp1.json") bytes)"
+curl -s "http://$raddr/v1/stats" | tee "$tmp/stats.json"
+grep -q '"computations": 1' "$tmp/stats.json" || {
+  echo "FAIL: 8 identical requests took != 1 computation (coalescing broken)" >&2
+  exit 1
+}
+echo "    coalescer folded 8 identical requests into 1 computation"
+# SSE smoke on a fresh spec (seed 2 misses every cache): partial aggregates
+# stream as progress events, then the full result arrives as one result
+# event. Re-streaming the now-cached spec must replay just the result.
+sed 's/"baseSeed": 1/"baseSeed": 2/' "$tmp/spec.json" > "$tmp/spec2.json"
+curl -sN -X POST --data-binary @"$tmp/spec2.json" "http://$raddr/v1/sweep/stream" > "$tmp/sse.out"
+grep -q '^event: progress' "$tmp/sse.out" || { echo "FAIL: SSE stream carried no progress events" >&2; exit 1; }
+grep -q '^event: result' "$tmp/sse.out" || { echo "FAIL: SSE stream carried no result event" >&2; exit 1; }
+curl -sN -X POST --data-binary @"$tmp/spec2.json" "http://$raddr/v1/sweep/stream" > "$tmp/sse2.out"
+if grep -q '^event: progress' "$tmp/sse2.out"; then
+  echo "FAIL: re-streaming a cached spec recomputed instead of replaying the result" >&2
+  exit 1
+fi
+grep -q '^event: result' "$tmp/sse2.out" || { echo "FAIL: cached SSE re-stream carried no result event" >&2; exit 1; }
+echo "    SSE streamed $(grep -c '^event: progress' "$tmp/sse.out") progress events + result; cached re-stream replayed the result"
+# psq stats smoke against the live dispatcher: the serving sweeps' jobs and
+# the outcome-cache hits from the coalesced burst must be visible.
+"$tmp/psq" -dispatcher "$saddr" stats | tee "$tmp/psq_stats.out"
+grep -q "workers" "$tmp/psq_stats.out" || { echo "FAIL: psq stats shows no workers line" >&2; exit 1; }
+kill "$sdisp_pid" "$sworker_pid" "$resultd_pid" 2>/dev/null || true
+
+echo "==> serving coalescer race stress"
+go test -race -run 'TestCoalesceStressRace|TestCoalesceManyWaitersOneSubmit' -count=2 ./internal/serve
+
 echo "==> wire-codec fuzz gate (frame codec must reject hostile input without panicking)"
 go test -fuzz=FuzzFrameCodec -fuzztime=10s ./internal/wire
 
@@ -151,10 +237,17 @@ if [ "${BENCH_GATE:-1}" != "0" ]; then
   # Best-of-N per benchmark (benchlog keeps the fastest sample; BENCH_COUNT,
   # default 3 — raise it on a noisy box, same knob scripts/bench.sh honors)
   # against the newest recorded entry; >10% slowdown in ns/op — or
-  # events/sec for the N-scaling family — on any pinned benchmark fails,
+  # events/sec for the N-scaling family, or requests/sec for the
+  # BenchmarkServe* serving family — on any pinned benchmark fails,
   # with the observed spread printed for diagnosis.
-  go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' \
+  # -timeout 0: the run is already bounded by benchtime x count, and a
+  # raised BENCH_COUNT on a noisy box must not trip go test's default 10m.
+  go test ./internal/sim -run '^$' -bench 'BenchmarkEngineEvent' -timeout 0 \
     -benchmem -benchtime 1s -count "${BENCH_COUNT:-3}" | tee "$tmp/bench.txt"
+  # The serving path participates in the same gate: requests/sec on the
+  # loopback BenchmarkServe* family must stay within threshold too.
+  go test ./internal/serve -run '^$' -bench 'BenchmarkServe' -timeout 0 \
+    -benchtime 1s -count "${BENCH_COUNT:-3}" | tee -a "$tmp/bench.txt"
   go run ./cmd/benchlog -check -file BENCH_engine.json < "$tmp/bench.txt"
   # The structure-specific fast paths must beat the rebuild engine >= 10x at
   # n = 10k and run allocation-free in steady state.
