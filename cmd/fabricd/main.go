@@ -5,6 +5,7 @@
 // tasks:
 //
 //	fabricd -role dispatcher -listen 127.0.0.1:9071 -cache outcomes.jsonl
+//	fabricd -role dispatcher -listen 127.0.0.1:9071 -journal jobs.jsonl
 //	fabricd -role worker -dispatcher 127.0.0.1:9071 -slots 8
 //
 // Sweeps are submitted either attached, from any driver with
@@ -13,6 +14,14 @@
 // with exponential backoff; the dispatcher re-queues the in-flight task of
 // a lost worker, so killing a worker mid-sweep changes nothing about the
 // results — every backend is bit-identical by construction.
+//
+// With -journal, the dispatcher is crash-safe: every submission, grant and
+// completion is appended write-ahead to a JSONL journal, and a restarted
+// dispatcher replays it — jobs resume, finished tasks are not recomputed,
+// and clients that redialed re-attach by idempotency ref. SIGTERM drains
+// gracefully (workers finish their in-flight task; the dispatcher stops
+// granting, waits for in-flight tasks, journals a clean-shutdown record);
+// SIGINT, or a second signal, stops immediately.
 //
 // -listen accepts ":0" to pick a free port; -addr-file then publishes the
 // actual address for scripts (the CI gate uses exactly this).
@@ -38,39 +47,40 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fabricd: ")
 	var (
-		role       = flag.String("role", "", "dispatcher or worker (required)")
-		listen     = flag.String("listen", "127.0.0.1:9071", "dispatcher: address to listen on (\":0\" picks a free port)")
-		addrFile   = flag.String("addr-file", "", "dispatcher: write the actual listen address to this file (for scripts with -listen :0)")
-		cachePath  = flag.String("cache", "", "dispatcher: JSONL outcome cache; finished tasks are reused across jobs and clients")
-		hbTimeout  = flag.Duration("heartbeat-timeout", 15*time.Second, "dispatcher: silence after which a worker is declared dead and its task re-queued")
-		attempts   = flag.Int("max-attempts", 3, "dispatcher: attempts per task across worker losses before the job fails")
-		dispatcher = flag.String("dispatcher", "", "worker: dispatcher address to connect to (required)")
-		name       = flag.String("name", "", "worker: name reported to the dispatcher (default host:pid)")
-		slots      = flag.Int("slots", 1, "worker: concurrent task slots (independent connections) in this process")
-		heartbeat  = flag.Duration("heartbeat", 3*time.Second, "worker: heartbeat interval; keep well under the dispatcher's -heartbeat-timeout")
+		role         = flag.String("role", "", "dispatcher or worker (required)")
+		listen       = flag.String("listen", "127.0.0.1:9071", "dispatcher: address to listen on (\":0\" picks a free port)")
+		addrFile     = flag.String("addr-file", "", "dispatcher: write the actual listen address to this file (for scripts with -listen :0)")
+		cachePath    = flag.String("cache", "", "dispatcher: JSONL outcome cache; finished tasks are reused across jobs and clients")
+		journalPath  = flag.String("journal", "", "dispatcher: JSONL write-ahead job journal; a restart replays it, resuming jobs and re-queueing interrupted tasks")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 15*time.Second, "dispatcher: silence after which a worker is declared dead and its task re-queued")
+		taskDeadline = flag.Duration("task-deadline", 0, "dispatcher: per-task execution deadline; an assignment unanswered this long is re-queued against the same retry budget as a worker loss (0 disables)")
+		attempts     = flag.Int("max-attempts", 3, "dispatcher: attempts per task across worker losses (and, with -journal, dispatcher restarts) before the job fails")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight tasks before giving up")
+		dispatcher   = flag.String("dispatcher", "", "worker: dispatcher address to connect to (required)")
+		name         = flag.String("name", "", "worker: name reported to the dispatcher (default host:pid)")
+		slots        = flag.Int("slots", 1, "worker: concurrent task slots (independent connections) in this process")
+		heartbeat    = flag.Duration("heartbeat", 3*time.Second, "worker: heartbeat interval; keep well under the dispatcher's -heartbeat-timeout")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	switch *role {
 	case "dispatcher":
-		runDispatcher(ctx, *listen, *addrFile, *cachePath, *hbTimeout, *attempts)
+		runDispatcher(*listen, *addrFile, *cachePath, *journalPath, *hbTimeout, *taskDeadline, *attempts, *drainWait)
 	case "worker":
-		runWorker(ctx, *dispatcher, *name, *slots, *heartbeat)
+		runWorker(*dispatcher, *name, *slots, *heartbeat, *drainWait)
 	default:
 		log.Fatalf("-role must be dispatcher or worker (got %q)", *role)
 	}
 }
 
-func runDispatcher(ctx context.Context, listen, addrFile, cachePath string, hbTimeout time.Duration, attempts int) {
+func runDispatcher(listen, addrFile, cachePath, journalPath string, hbTimeout, taskDeadline time.Duration, attempts int, drainWait time.Duration) {
 	opts := fabric.DispatcherOptions{
 		MaxTaskAttempts:  attempts,
 		HeartbeatTimeout: hbTimeout,
+		TaskDeadline:     taskDeadline,
 		Logf:             log.Printf,
 	}
 	if cachePath != "" {
@@ -85,6 +95,14 @@ func runDispatcher(ctx context.Context, listen, addrFile, cachePath string, hbTi
 		log.Printf("outcome cache %s: %d entries", cachePath, fc.Len())
 		opts.Cache = fc
 	}
+	if journalPath != "" {
+		jl, err := fabric.OpenJournal(journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jl.Close()
+		opts.Journal = jl
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		log.Fatal(err)
@@ -96,9 +114,28 @@ func runDispatcher(ctx context.Context, listen, addrFile, cachePath string, hbTi
 		}
 	}
 	d := fabric.NewDispatcher(opts)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-ctx.Done()
-		log.Printf("shutting down")
+		sig := <-sigCh
+		if sig == syscall.SIGTERM {
+			// Graceful: stop granting, let in-flight tasks land, journal the
+			// clean shutdown. A second signal skips straight to Close.
+			log.Printf("SIGTERM: draining (timeout %v; send again to stop now)", drainWait)
+			done := make(chan struct{})
+			go func() {
+				d.Drain(drainWait)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-sigCh:
+				log.Printf("second signal: stopping now")
+			}
+		} else {
+			log.Printf("interrupt: shutting down")
+		}
 		d.Close()
 	}()
 	if err := d.Serve(ln); err != nil {
@@ -106,7 +143,7 @@ func runDispatcher(ctx context.Context, listen, addrFile, cachePath string, hbTi
 	}
 }
 
-func runWorker(ctx context.Context, dispatcher, name string, slots int, heartbeat time.Duration) {
+func runWorker(dispatcher, name string, slots int, heartbeat, drainWait time.Duration) {
 	if dispatcher == "" {
 		log.Fatal("-role worker requires -dispatcher host:port")
 	}
@@ -121,7 +158,10 @@ func runWorker(ctx context.Context, dispatcher, name string, slots int, heartbea
 		name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 	log.Printf("%d worker slot(s) connecting to %s", slots, dispatcher)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var wg sync.WaitGroup
+	workers := make([]*fabric.Worker, slots)
 	for i := 0; i < slots; i++ {
 		w := &fabric.Worker{
 			Dispatcher:        dispatcher,
@@ -129,6 +169,7 @@ func runWorker(ctx context.Context, dispatcher, name string, slots int, heartbea
 			HeartbeatInterval: heartbeat,
 			Logf:              log.Printf,
 		}
+		workers[i] = w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -140,5 +181,32 @@ func runWorker(ctx context.Context, dispatcher, name string, slots int, heartbea
 			}
 		}()
 	}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		if sig == syscall.SIGTERM {
+			// Graceful: each slot finishes its in-flight task, delivers the
+			// result, and deregisters. A second signal, or the drain timeout,
+			// cancels hard.
+			log.Printf("SIGTERM: draining %d slot(s) (timeout %v; send again to stop now)", slots, drainWait)
+			for _, w := range workers {
+				w.Drain()
+			}
+			select {
+			case <-sigCh:
+				log.Printf("second signal: stopping now")
+			case <-time.After(drainWait):
+				log.Printf("drain timed out, stopping now")
+			case <-ctx.Done():
+			}
+			cancel()
+			return
+		}
+		log.Printf("interrupt: shutting down")
+		cancel()
+	}()
 	wg.Wait()
+	cancel()
 }

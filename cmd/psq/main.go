@@ -26,6 +26,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/fabric"
@@ -49,6 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psq: ")
 	dispatcher := flag.String("dispatcher", "127.0.0.1:9071", "fabricd dispatcher address (host:port)")
+	redial := flag.Duration("redial", 30*time.Second, "submit: how long to redial an unreachable or restarting dispatcher before giving up (re-attaches idempotently by job ref)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -61,7 +63,7 @@ func main() {
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "submit":
-		runSubmit(ctx, *dispatcher, args)
+		runSubmit(ctx, *dispatcher, *redial, args)
 	case "list":
 		runList(ctx, *dispatcher)
 	case "stats":
@@ -108,7 +110,7 @@ func parseList(s string) []string {
 	return out
 }
 
-func runSubmit(ctx context.Context, dispatcher string, args []string) {
+func runSubmit(ctx context.Context, dispatcher string, redial time.Duration, args []string) {
 	fs := flag.NewFlagSet("psq submit", flag.ExitOnError)
 	var (
 		name     = fs.String("name", "psq", "job name shown by psq list")
@@ -157,7 +159,7 @@ func runSubmit(ctx context.Context, dispatcher string, args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cl := &fabric.Client{Addr: dispatcher}
+		cl := &fabric.Client{Addr: dispatcher, RedialBudget: redial}
 		id, err := cl.SubmitDetached(ctx, *name, exp.Env{Sweep: &sweep}, tasks)
 		if err != nil {
 			log.Fatal(err)
@@ -167,7 +169,7 @@ func runSubmit(ctx context.Context, dispatcher string, args []string) {
 	}
 
 	rs, err := exp.Run(ctx, sweep, exp.Options{
-		Backend: &fabric.Backend{Addr: dispatcher, Name: *name},
+		Backend: &fabric.Backend{Addr: dispatcher, Name: *name, RedialBudget: redial},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -228,6 +230,9 @@ func runStats(ctx context.Context, dispatcher string) {
 	fmt.Printf("requeues    %d\n", st.Requeues)
 	fmt.Printf("handshakes  %d\n", st.Handshakes)
 	fmt.Printf("refusals    %d\n", st.Refusals)
+	if st.DeadlineExpiries > 0 {
+		fmt.Printf("deadline expiries %d\n", st.DeadlineExpiries)
+	}
 	if st.CacheLen > 0 || st.CacheStats != nil {
 		fmt.Printf("cache len   %d\n", st.CacheLen)
 	}

@@ -48,6 +48,7 @@ func main() {
 		backend    = flag.String("backend", "pool", "compute backend for cache misses: pool (goroutines), proc (worker subprocesses) or fabric (networked dispatcher)")
 		procs      = flag.Int("procs", 0, "worker subprocess count for -backend proc (0 = GOMAXPROCS)")
 		dispatch   = flag.String("dispatcher", "", "fabric dispatcher address (host:port) for -backend fabric")
+		redial     = flag.Duration("backend-redial", 10*time.Second, "for -backend fabric: how long a computation redials an unreachable dispatcher before the server degrades (cache hits keep serving, misses get 503 + Retry-After)")
 		workers    = flag.Int("workers", 0, "worker pool size for -backend pool (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "JSONL cell cache shared with simulate -cache; persists computed cells across restarts")
 		maxEntries = flag.Int("max-entries", 0, "response cache entry cap (0 = default 16Ki)")
@@ -78,7 +79,12 @@ func main() {
 		if *dispatch == "" {
 			log.Fatal("-backend fabric requires -dispatcher host:port")
 		}
-		opts.Exp.Backend = &fabric.Backend{Addr: *dispatch, Name: "resultd"}
+		// A deliberately short redial budget: resultd degrades fast (serving
+		// cache hits, 503ing misses with a Retry-After) instead of letting
+		// every miss hang through a long dispatcher outage. The fabric
+		// client re-attaches by job ref, so a dispatcher restart inside the
+		// budget is a stall, not a failure.
+		opts.Exp.Backend = &fabric.Backend{Addr: *dispatch, Name: "resultd", RedialBudget: *redial}
 	default:
 		log.Fatalf("unknown -backend %q (want pool, proc or fabric)", *backend)
 	}

@@ -11,6 +11,7 @@ package exp
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -18,6 +19,14 @@ import (
 	"repro/internal/mrt"
 	"repro/internal/sim"
 )
+
+// ErrBackendUnavailable marks a Submit failure caused by the backend being
+// unreachable (a networked dispatcher that stayed down past the client's
+// redial budget) rather than by the work itself. Serving layers match it
+// with errors.Is to degrade gracefully — keep answering from cache, tell
+// clients to retry later — instead of treating the outage like a
+// deterministic task failure.
+var ErrBackendUnavailable = errors.New("exp: backend unavailable")
 
 // TaskSpec identifies one (cell, replication) simulation task of a Sweep.
 // It is fully serializable: Cell carries only names and scalars, and Seed

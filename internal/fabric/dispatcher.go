@@ -19,7 +19,9 @@ type DispatcherOptions struct {
 	// worker losses before its job fails; <= 0 means 3. A task *error*
 	// (bad cell, panic) is never retried — errors are deterministic and
 	// surface immediately; only worker loss triggers a retry. This mirrors
-	// exp.ProcBackend.MaxTaskAttempts across the network.
+	// exp.ProcBackend.MaxTaskAttempts across the network. With a Journal,
+	// the budget is unified across dispatcher restarts: an interrupted
+	// grant replayed from the journal counts as a consumed attempt.
 	MaxTaskAttempts int
 	// HeartbeatTimeout is the silence after which a connected worker is
 	// declared dead, its connection closed, and its in-flight task
@@ -30,8 +32,24 @@ type DispatcherOptions struct {
 	// so a slow-loris peer (or a port scanner) cannot hold a connection
 	// open indefinitely without completing a handshake; <= 0 means 5s.
 	HandshakeTimeout time.Duration
+	// TaskDeadline, when > 0, bounds one task execution end to end: an
+	// assignment unanswered after this long closes the worker's connection
+	// and funnels through the same re-queue path (and the same
+	// MaxTaskAttempts budget) as a worker loss. Heartbeats keep a slow
+	// worker alive past the heartbeat timeout, so this is the only bound
+	// on a worker that is alive but wedged inside a task. 0 disables it.
+	TaskDeadline time.Duration
 	// Cache, when non-nil, memoizes task outcomes across jobs and clients.
 	Cache OutcomeCache
+	// Journal, when non-nil, makes the dispatcher durable: submissions,
+	// grants, completions and cancellations are appended write-ahead to
+	// the journal, and NewDispatcher replays the records the journal
+	// loaded — rebuilding the job registry, re-queueing interrupted
+	// in-flight tasks and restoring finished outcomes so re-attaching
+	// clients can be answered. Without a journal the dispatcher behaves
+	// exactly as before: in-memory only, attached jobs die with their
+	// client.
+	Journal *Journal
 	// Logf receives operational events (worker joins, losses, re-queues);
 	// nil discards them.
 	Logf func(format string, args ...any)
@@ -43,7 +61,7 @@ type DispatcherOptions struct {
 // Dispatcher owns the fabric's task queue, job registry and result cache,
 // and serves worker and client connections over TCP. See the package
 // comment for the protocol; construct with NewDispatcher, run with Serve,
-// stop with Close.
+// stop with Close (or Drain then Close for a clean shutdown).
 type Dispatcher struct {
 	opts DispatcherOptions
 	live *liveness
@@ -54,10 +72,13 @@ type Dispatcher struct {
 	queue      []taskRef
 	jobs       map[string]*job
 	jobOrder   []string
+	refs       map[string]string // submit ref -> job id (idempotent resubmission)
 	workers    map[int64]*workerLink
 	conns      map[net.Conn]struct{}
 	nextWorker int64
 	nextJob    int
+	inflight   int // tasks granted to workers and not yet concluded
+	draining   bool
 	closed     bool
 	closedCh   chan struct{}
 
@@ -65,6 +86,7 @@ type Dispatcher struct {
 	cacheHits  atomic.Int64
 	handshakes atomic.Int64
 	refusals   atomic.Int64
+	expiries   atomic.Int64
 }
 
 // taskRef addresses one task of one job.
@@ -76,20 +98,31 @@ type taskRef struct {
 // job is one submitted batch.
 type job struct {
 	id       string
+	ref      string
 	name     string
 	env      exp.Env
 	tasks    []exp.Task
+	detach   bool
 	state    string
 	err      string
 	done     int
 	attempts []int
 	emitted  []bool
-	// stream carries finished tasks to the attached client; nil for
-	// detached jobs. Capacity is len(tasks), so pushing under the
-	// dispatcher lock never blocks.
-	stream chan streamMsg
-	// doneCh closes exactly once, when the job reaches a terminal state.
-	doneCh chan struct{}
+	// outs holds every finished outcome by task index, kept for the job's
+	// lifetime so a client that re-attaches (same submit ref) after a
+	// redial or a dispatcher restart can be streamed the tasks it missed.
+	outs []*exp.Outcome
+	// notify is closed and replaced under the dispatcher lock on every
+	// state change a streaming client could care about (task finished,
+	// terminal transition); stream loops snapshot it, drain outs, and
+	// wait on the snapshot.
+	notify chan struct{}
+}
+
+// wake signals every streaming client of j; callers hold d.mu.
+func (j *job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
 }
 
 // workerLink is one live worker connection.
@@ -109,7 +142,10 @@ type workerLink struct {
 	dead bool
 }
 
-// NewDispatcher returns a dispatcher ready to Serve.
+// NewDispatcher returns a dispatcher ready to Serve. When opts.Journal is
+// set, the journal's loaded records are replayed first: jobs resume where
+// the previous incarnation left them, with finished tasks restored and
+// interrupted in-flight tasks re-queued (each consuming one retry attempt).
 func NewDispatcher(opts DispatcherOptions) *Dispatcher {
 	if opts.MaxTaskAttempts <= 0 {
 		opts.MaxTaskAttempts = 3
@@ -130,12 +166,69 @@ func NewDispatcher(opts DispatcherOptions) *Dispatcher {
 		opts:     opts,
 		live:     newLiveness(opts.HeartbeatTimeout),
 		jobs:     make(map[string]*job),
+		refs:     make(map[string]string),
 		workers:  make(map[int64]*workerLink),
 		conns:    make(map[net.Conn]struct{}),
 		closedCh: make(chan struct{}),
 	}
 	d.cond = sync.NewCond(&d.mu)
+	if opts.Journal != nil {
+		d.replayJournal()
+	}
 	return d
+}
+
+// replayJournal rebuilds the registry from the journal loaded at open and
+// re-queues the unfinished tasks of running jobs.
+func (d *Dispatcher) replayJournal() {
+	jl := d.opts.Journal
+	recs := jl.records()
+	st := restoreRecords(recs, d.opts.MaxTaskAttempts)
+	d.jobs = st.jobs
+	d.jobOrder = st.jobOrder
+	d.refs = st.refs
+	d.nextJob = st.nextJob
+	// Budget exhaustion discovered at replay is a real terminal
+	// transition: journal it so the next incarnation agrees.
+	for _, id := range st.failed {
+		j := d.jobs[id]
+		d.journalLocked(journalRecord{Fail: &journalMark{Job: id, Msg: j.err}})
+		d.opts.Logf("fabric: job %s failed at replay: %s", id, j.err)
+	}
+	restored, requeued := 0, 0
+	for _, id := range d.jobOrder {
+		j := d.jobs[id]
+		restored += j.done
+		if j.state != JobRunning {
+			continue
+		}
+		for i := range j.tasks {
+			if !j.emitted[i] {
+				d.queue = append(d.queue, taskRef{j: j, idx: i})
+				requeued++
+			}
+		}
+	}
+	if msg := exp.CorruptWarning(jl.Path(), jl.Corrupt()); msg != "" {
+		d.opts.Logf("%s", msg)
+	}
+	if len(recs) > 0 || jl.Corrupt() > 0 {
+		d.opts.Logf("fabric: journal %s replayed: %d records (%d corrupt), %d jobs, %d finished tasks restored, %d tasks re-queued, clean shutdown %t",
+			jl.Path(), len(recs), jl.Corrupt(), len(d.jobOrder), restored, requeued, jl.CleanShutdown())
+	}
+}
+
+// journalLocked appends one record write-ahead; callers hold d.mu. Append
+// failures are logged and tolerated: the journal is an optimization to
+// replay after a crash, never a gate on live progress — losing a record
+// only means the affected task re-runs (idempotently) after a restart.
+func (d *Dispatcher) journalLocked(rec journalRecord) {
+	if d.opts.Journal == nil {
+		return
+	}
+	if err := d.opts.Journal.appendRecord(rec); err != nil {
+		d.opts.Logf("fabric: journal: %v", err)
+	}
 }
 
 func (d *Dispatcher) now() time.Time { return d.opts.Clock() }
@@ -176,7 +269,7 @@ func (d *Dispatcher) Serve(ln net.Listener) error {
 
 // Close stops the dispatcher: the listener and every live connection are
 // closed and all handler goroutines unblock. Running jobs are left in
-// their current state; a dispatcher is not meant to survive its process.
+// their current state; with a journal, the next incarnation replays them.
 func (d *Dispatcher) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -201,6 +294,46 @@ func (d *Dispatcher) Close() error {
 	return nil
 }
 
+// Drain performs the graceful half of a shutdown: new grants (and new
+// submissions) stop, in-flight tasks are given until timeout to conclude,
+// and — when everything concluded in time — a clean-shutdown record is
+// journaled so the next incarnation knows no grant was interrupted.
+// Callers follow with Close; timeout <= 0 means 30s.
+func (d *Dispatcher) Drain(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	d.mu.Lock()
+	if d.closed || d.draining {
+		d.mu.Unlock()
+		return nil
+	}
+	d.draining = true
+	d.cond.Broadcast() // idle workers give their slot up and disconnect
+	n := d.inflight
+	d.mu.Unlock()
+	d.opts.Logf("fabric: draining: %d task(s) in flight", n)
+	deadline := time.Now().Add(timeout)
+	for {
+		d.mu.Lock()
+		n = d.inflight
+		d.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			d.opts.Logf("fabric: drain timed out with %d task(s) still in flight", n)
+			return fmt.Errorf("fabric: drain timed out with %d task(s) in flight", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.mu.Lock()
+	d.journalLocked(journalRecord{Shutdown: true})
+	d.mu.Unlock()
+	d.opts.Logf("fabric: drained cleanly")
+	return nil
+}
+
 // Requeues reports how many in-flight tasks were re-queued after a worker
 // loss — the fabric's analogue of ProcBackend.Restarts.
 func (d *Dispatcher) Requeues() int64 { return d.requeues.Load() }
@@ -214,6 +347,10 @@ func (d *Dispatcher) Handshakes() int64 { return d.handshakes.Load() }
 
 // Refusals reports how many hellos were refused (version or probe drift).
 func (d *Dispatcher) Refusals() int64 { return d.refusals.Load() }
+
+// DeadlineExpiries reports how many assignments were abandoned because the
+// per-task execution deadline (TaskDeadline) expired.
+func (d *Dispatcher) DeadlineExpiries() int64 { return d.expiries.Load() }
 
 // WorkerCount reports the number of currently connected workers.
 func (d *Dispatcher) WorkerCount() int {
@@ -244,6 +381,7 @@ func (d *Dispatcher) Stats() StatsReply {
 	st.Requeues = d.requeues.Load()
 	st.Handshakes = d.handshakes.Load()
 	st.Refusals = d.refusals.Load()
+	st.DeadlineExpiries = d.expiries.Load()
 	if c, ok := d.opts.Cache.(interface{ Len() int }); ok {
 		st.CacheLen = c.Len()
 	}
@@ -401,12 +539,14 @@ func (d *Dispatcher) handleWorker(conn net.Conn, br *bufio.Reader, bw *bufio.Wri
 		}
 		seq++
 		if err := d.sendAssign(w, assignMsg{Seq: seq, Env: ref.j.env, Task: ref.j.tasks[ref.idx]}); err != nil {
+			d.grantConcluded()
 			d.requeueOnLoss(ref, w, fmt.Errorf("send failed: %w", err))
 			return
 		}
-		res, ok := d.awaitResult(w, seq)
-		if !ok {
-			d.requeueOnLoss(ref, w, fmt.Errorf("connection lost mid-task"))
+		res, cause := d.awaitResult(w, seq)
+		d.grantConcluded()
+		if cause != nil {
+			d.requeueOnLoss(ref, w, cause)
 			return
 		}
 		if res.Err != "" {
@@ -417,6 +557,15 @@ func (d *Dispatcher) handleWorker(conn net.Conn, br *bufio.Reader, bw *bufio.Wri
 		}
 		d.finishTask(ref, res.Out, false)
 	}
+}
+
+// grantConcluded releases one in-flight grant (result, loss, or deadline)
+// and wakes Drain waiters.
+func (d *Dispatcher) grantConcluded() {
+	d.mu.Lock()
+	d.inflight--
+	d.cond.Broadcast()
+	d.mu.Unlock()
 }
 
 // workerReadLoop drains frames from one worker: every frame refreshes
@@ -455,43 +604,60 @@ func (d *Dispatcher) sendAssign(w *workerLink, a assignMsg) error {
 }
 
 // awaitResult waits for the result of the outstanding assignment, the death
-// of the connection, or dispatcher shutdown. When the connection dies with
-// a result already delivered (the worker answered and dropped in the same
-// instant), the result wins — the task completed.
-func (d *Dispatcher) awaitResult(w *workerLink, seq int64) (resultMsg, bool) {
+// of the connection, the per-task deadline, or dispatcher shutdown. A nil
+// cause means res is the answer; a non-nil cause is the reason the
+// assignment concluded without one (the task is then re-queued against its
+// attempt budget). When the connection dies with a result already delivered
+// (the worker answered and dropped in the same instant), the result wins —
+// the task completed.
+func (d *Dispatcher) awaitResult(w *workerLink, seq int64) (res resultMsg, cause error) {
+	// The deadline uses the real clock for the same reason socket deadlines
+	// do; opts.Clock only virtualizes liveness decisions.
+	var expired <-chan time.Time
+	if d.opts.TaskDeadline > 0 {
+		t := time.NewTimer(d.opts.TaskDeadline)
+		defer t.Stop()
+		expired = t.C
+	}
 	for {
 		select {
 		case res := <-w.results:
 			if res.Seq != seq {
 				d.opts.Logf("fabric: worker %s answered seq %d for assignment %d (protocol desync), dropping worker", w.name, res.Seq, seq)
 				w.conn.Close()
-				return resultMsg{}, false
+				return resultMsg{}, fmt.Errorf("protocol desync (answered seq %d for %d)", res.Seq, seq)
 			}
-			return res, true
+			return res, nil
 		case <-w.readDone:
 			select {
 			case res := <-w.results:
 				if res.Seq == seq {
-					return res, true
+					return res, nil
 				}
 			default:
 			}
-			return resultMsg{}, false
+			return resultMsg{}, fmt.Errorf("connection lost mid-task")
+		case <-expired:
+			d.expiries.Add(1)
+			d.opts.Logf("fabric: worker %s exceeded the %v task deadline, dropping worker", w.name, d.opts.TaskDeadline)
+			w.conn.Close()
+			return resultMsg{}, fmt.Errorf("task deadline %v exceeded", d.opts.TaskDeadline)
 		case <-d.closedCh:
-			return resultMsg{}, false
+			return resultMsg{}, fmt.Errorf("dispatcher shut down")
 		}
 	}
 }
 
-// nextTask blocks until a runnable task is available and claims it for w.
-// Tasks of finished (failed, canceled) jobs are discarded on the way;
-// cache hits are answered immediately without occupying the worker. ok is
-// false when the dispatcher closed or the worker died.
+// nextTask blocks until a runnable task is available and claims it for w,
+// journaling the grant write-ahead. Tasks of finished (failed, canceled)
+// jobs are discarded on the way; cache hits are answered immediately
+// without occupying the worker. ok is false when the dispatcher closed or
+// is draining, or the worker died.
 func (d *Dispatcher) nextTask(w *workerLink) (taskRef, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
-		if d.closed || w.dead {
+		if d.closed || d.draining || w.dead {
 			return taskRef{}, false
 		}
 		for len(d.queue) > 0 {
@@ -509,6 +675,8 @@ func (d *Dispatcher) nextTask(w *workerLink) (taskRef, bool) {
 					}
 				}
 			}
+			d.journalLocked(journalRecord{Grant: &journalGrant{Job: ref.j.id, Idx: ref.idx}})
+			d.inflight++
 			return ref, true
 		}
 		d.cond.Wait()
@@ -538,8 +706,9 @@ func (d *Dispatcher) requeueOnLoss(ref taskRef, w *workerLink, cause error) {
 	d.cond.Broadcast()
 }
 
-// finishTask records one finished task: caches the outcome, streams it to
-// an attached client, and closes the job when it was the last.
+// finishTask records one finished task: caches the outcome, journals the
+// completion, stores it for streaming clients, and closes the job when it
+// was the last.
 func (d *Dispatcher) finishTask(ref taskRef, out exp.Outcome, fromCache bool) {
 	if !fromCache && d.opts.Cache != nil {
 		if key, ok := taskCacheKey(ref.j.tasks[ref.idx]); ok {
@@ -558,15 +727,14 @@ func (d *Dispatcher) finishTaskLocked(ref taskRef, out exp.Outcome) {
 	if j.state != JobRunning || j.emitted[ref.idx] {
 		return // late result of a re-queued, canceled or failed task
 	}
+	d.journalLocked(journalRecord{Done: &journalDone{Job: j.id, Idx: ref.idx, Out: out}})
 	j.emitted[ref.idx] = true
 	j.done++
-	if j.stream != nil {
-		j.stream <- streamMsg{Index: ref.idx, Out: out}
-	}
+	j.outs[ref.idx] = &out
 	if j.done == len(j.tasks) {
 		j.state = JobDone
-		close(j.doneCh)
 	}
+	j.wake()
 }
 
 // failJob moves a job to the failed state (deterministic task error or
@@ -582,9 +750,10 @@ func (d *Dispatcher) failJobLocked(j *job, msg string) {
 	if j.state != JobRunning {
 		return
 	}
+	d.journalLocked(journalRecord{Fail: &journalMark{Job: j.id, Msg: msg}})
 	j.state = JobFailed
 	j.err = msg
-	close(j.doneCh)
+	j.wake()
 	d.opts.Logf("fabric: job %s failed: %s", j.id, msg)
 }
 
@@ -596,44 +765,66 @@ func (d *Dispatcher) cancelJob(j *job, reason string) {
 	if j.state != JobRunning {
 		return
 	}
+	d.journalLocked(journalRecord{Cancel: &journalMark{Job: j.id, Msg: "canceled: " + reason}})
 	j.state = JobCanceled
 	j.err = "canceled: " + reason
-	close(j.doneCh)
+	j.wake()
 	d.opts.Logf("fabric: job %s canceled (%s)", j.id, reason)
 }
 
-// submitJob registers a batch as a new job and queues its tasks.
-func (d *Dispatcher) submitJob(req *submitReq) (*job, error) {
+// submitJob registers a batch as a new job and queues its tasks, journaling
+// the full spec write-ahead. A submission whose Ref matches a live job is a
+// re-attach, not a new job: the existing job is returned (reattached true)
+// and nothing is queued — this is what makes client redial idempotent
+// across connection losses and dispatcher restarts.
+func (d *Dispatcher) submitJob(req *submitReq) (j *job, reattached bool, err error) {
 	if len(req.Tasks) == 0 {
-		return nil, fmt.Errorf("fabric: empty task batch")
+		return nil, false, fmt.Errorf("fabric: empty task batch")
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
-		return nil, fmt.Errorf("fabric: dispatcher is shut down")
+		return nil, false, fmt.Errorf("fabric: dispatcher is shut down")
+	}
+	if req.Ref != "" {
+		if id, ok := d.refs[req.Ref]; ok {
+			j := d.jobs[id]
+			d.opts.Logf("fabric: job %s re-attached (ref %s)", j.id, req.Ref)
+			return j, true, nil
+		}
+	}
+	if d.draining {
+		return nil, false, fmt.Errorf("fabric: dispatcher is draining")
 	}
 	d.nextJob++
-	j := &job{
-		id:       fmt.Sprintf("j%d", d.nextJob),
+	id := fmt.Sprintf("j%d", d.nextJob)
+	d.journalLocked(journalRecord{Submit: &journalSubmit{
+		ID: id, Ref: req.Ref, Name: req.Name, Env: req.Env, Tasks: req.Tasks, Detach: req.Detach,
+	}})
+	j = &job{
+		id:       id,
+		ref:      req.Ref,
 		name:     req.Name,
 		env:      req.Env,
 		tasks:    req.Tasks,
+		detach:   req.Detach,
 		state:    JobRunning,
 		attempts: make([]int, len(req.Tasks)),
 		emitted:  make([]bool, len(req.Tasks)),
-		doneCh:   make(chan struct{}),
-	}
-	if !req.Detach {
-		j.stream = make(chan streamMsg, len(req.Tasks))
+		outs:     make([]*exp.Outcome, len(req.Tasks)),
+		notify:   make(chan struct{}),
 	}
 	d.jobs[j.id] = j
 	d.jobOrder = append(d.jobOrder, j.id)
+	if req.Ref != "" {
+		d.refs[req.Ref] = j.id
+	}
 	for i := range j.tasks {
 		d.queue = append(d.queue, taskRef{j: j, idx: i})
 	}
 	d.cond.Broadcast()
 	d.opts.Logf("fabric: job %s (%s): %d tasks queued (detach=%t)", j.id, j.name, len(j.tasks), req.Detach)
-	return j, nil
+	return j, false, nil
 }
 
 // handleClient serves one client request: submit (attached or detached),
@@ -672,18 +863,33 @@ func (d *Dispatcher) handleClient(conn net.Conn, br *bufio.Reader, bw *bufio.Wri
 	}
 }
 
-// serveSubmit registers the job and, for attached submissions, streams its
-// results until the job finishes or the client goes away (which cancels
-// the job — an attached client owns its submission).
+// clientGone handles an attached client's disconnection. Without a journal
+// an attached client owns its submission, so the job is canceled — the
+// historical contract. With a journal the job survives: the client is
+// expected to redial and re-attach by ref (and the work is durable anyway),
+// so cancellation only ever happens explicitly.
+func (d *Dispatcher) clientGone(j *job, how string) {
+	if d.opts.Journal == nil {
+		d.cancelJob(j, how)
+		return
+	}
+	d.opts.Logf("fabric: %s from job %s; job continues (journaled, re-attach by ref)", how, j.id)
+}
+
+// serveSubmit registers (or, by ref, re-attaches to) the job and, for
+// attached submissions, streams its results until the job finishes or the
+// client goes away. Results are streamed from the job's outs snapshot, so
+// a re-attaching client first catches up on everything it missed and then
+// follows live completions.
 func (d *Dispatcher) serveSubmit(conn net.Conn, br *bufio.Reader, reply func(clientResp) bool, req *submitReq) {
-	j, err := d.submitJob(req)
+	j, _, err := d.submitJob(req)
 	if err != nil {
 		reply(clientResp{Err: err.Error()})
 		return
 	}
 	if !reply(clientResp{Submitted: j.id}) {
 		if !req.Detach {
-			d.cancelJob(j, "client disconnected")
+			d.clientGone(j, "client disconnected")
 		}
 		return
 	}
@@ -702,33 +908,33 @@ func (d *Dispatcher) serveSubmit(conn net.Conn, br *bufio.Reader, reply func(cli
 			}
 		}
 	}()
+	sent := make([]bool, len(j.tasks))
 	for {
-		select {
-		case m := <-j.stream:
-			if !reply(clientResp{Result: &m}) {
-				d.cancelJob(j, "client disconnected mid-stream")
+		d.mu.Lock()
+		var batch []streamMsg
+		for i, out := range j.outs {
+			if out != nil && !sent[i] {
+				batch = append(batch, streamMsg{Index: i, Out: *out})
+				sent[i] = true
+			}
+		}
+		state, errMsg := j.state, j.err
+		notify := j.notify
+		d.mu.Unlock()
+		for i := range batch {
+			if !reply(clientResp{Result: &batch[i]}) {
+				d.clientGone(j, "client disconnected mid-stream")
 				return
 			}
-		case <-j.doneCh:
-			// Drain results that were queued before the terminal state.
-			for {
-				select {
-				case m := <-j.stream:
-					if !reply(clientResp{Result: &m}) {
-						return
-					}
-					continue
-				default:
-				}
-				break
-			}
-			d.mu.Lock()
-			errMsg := j.err
-			d.mu.Unlock()
+		}
+		if state != JobRunning {
 			reply(clientResp{Done: &doneMsg{Err: errMsg}})
 			return
+		}
+		select {
+		case <-notify:
 		case <-connGone:
-			d.cancelJob(j, "client disconnected")
+			d.clientGone(j, "client disconnected")
 			return
 		case <-d.closedCh:
 			return

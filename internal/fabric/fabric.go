@@ -115,6 +115,11 @@ type submitReq struct {
 	Env    exp.Env    `json:"env"`
 	Tasks  []exp.Task `json:"tasks"`
 	Detach bool       `json:"detach,omitempty"`
+	// Ref is a client-generated idempotency token: a resubmission carrying
+	// the Ref of a job the dispatcher already knows re-attaches to that job
+	// instead of creating a duplicate. This is what makes redial-after-
+	// disconnect (and re-attach after a journaled dispatcher restart) safe.
+	Ref string `json:"ref,omitempty"`
 }
 
 // clientResp is any dispatcher → client frame.
@@ -157,15 +162,18 @@ type doneMsg struct {
 // CacheStats appear only when an outcome cache is configured (CacheStats
 // only for caches that expose lru.Stats, i.e. MemOutcomeCache).
 type StatsReply struct {
-	Workers    int        `json:"workers"`
-	QueueDepth int        `json:"queueDepth"`
-	Jobs       int        `json:"jobs"`
-	CacheHits  int64      `json:"cacheHits"`
-	Requeues   int64      `json:"requeues"`
-	Handshakes int64      `json:"handshakes"`
-	Refusals   int64      `json:"refusals"`
-	CacheLen   int        `json:"cacheLen,omitempty"`
-	CacheStats *lru.Stats `json:"cacheStats,omitempty"`
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queueDepth"`
+	Jobs       int   `json:"jobs"`
+	CacheHits  int64 `json:"cacheHits"`
+	Requeues   int64 `json:"requeues"`
+	Handshakes int64 `json:"handshakes"`
+	Refusals   int64 `json:"refusals"`
+	// DeadlineExpiries counts assignments abandoned because the per-task
+	// execution deadline (fabricd -task-deadline) expired.
+	DeadlineExpiries int64      `json:"deadlineExpiries,omitempty"`
+	CacheLen         int        `json:"cacheLen,omitempty"`
+	CacheStats       *lru.Stats `json:"cacheStats,omitempty"`
 }
 
 // JobStatus is one job's public state, as reported to psq list.

@@ -1,0 +1,378 @@
+package fabric
+
+// The dispatcher's write-ahead job journal. Every state transition that
+// matters after a crash — a job submitted, a task granted to a worker, a
+// task finished, a job failed or canceled, a clean drain — is appended as
+// one JSON line *before* the in-memory registry mutates, with the same
+// torn-tail-repair discipline as FileOutcomeCache: a record torn by a hard
+// kill mid-write(2) is skipped on load (counted, never trusted), and the
+// first append after loading a torn file starts with a newline so the new
+// record lands on its own line instead of being absorbed into the stump.
+//
+// Replay (Dispatcher restore) is idempotent by construction: submissions
+// are keyed by job ID (first record wins), completions by (job, index)
+// with the same emitted-guard the live dispatcher uses, and a grant with
+// no matching completion is exactly an interrupted in-flight execution —
+// it consumes one unit of the task's retry budget and the task is
+// re-queued. Because every task is idempotent (seeds and cache keys derive
+// from task identity alone), re-running an interrupted grant is always
+// safe, and a configured outcome cache dedupes re-queued tasks whose
+// results landed there before the crash.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/exp"
+)
+
+// errJournalCrash is returned by the test-only crash point when an append
+// was deliberately torn mid-write — the in-process stand-in for a SIGKILL
+// landing between the first and last byte of a write(2).
+var errJournalCrash = errors.New("fabric: journal crash point: append torn mid-write")
+
+// journalRecord is one line of the write-ahead journal; exactly one field
+// is set. An all-empty record is treated as corrupt on load.
+type journalRecord struct {
+	Submit *journalSubmit `json:"submit,omitempty"`
+	Grant  *journalGrant  `json:"grant,omitempty"`
+	Done   *journalDone   `json:"done,omitempty"`
+	Fail   *journalMark   `json:"fail,omitempty"`
+	Cancel *journalMark   `json:"cancel,omitempty"`
+	// Shutdown marks a clean drain: the dispatcher stopped granting,
+	// waited out its in-flight tasks, and exited on purpose. A journal
+	// whose last record is a shutdown replays with no interrupted grants.
+	Shutdown bool `json:"shutdown,omitempty"`
+}
+
+// journalSubmit records a job submission — the full spec, so replay can
+// rebuild the registry entry without any other source of truth.
+type journalSubmit struct {
+	ID     string     `json:"id"`
+	Ref    string     `json:"ref,omitempty"`
+	Name   string     `json:"name,omitempty"`
+	Env    exp.Env    `json:"env"`
+	Tasks  []exp.Task `json:"tasks"`
+	Detach bool       `json:"detach,omitempty"`
+}
+
+// journalGrant records a task handed to a worker, written before the
+// assignment frame is sent. On replay, a grant without a matching done is
+// an execution the crash interrupted: one unit of the task's retry budget.
+type journalGrant struct {
+	Job string `json:"job"`
+	Idx int    `json:"idx"`
+}
+
+// journalDone records a finished task with its outcome, written before the
+// in-memory registry marks it emitted — so a completion that reached the
+// journal is never recomputed and can be re-streamed to a re-attaching
+// client after a restart.
+type journalDone struct {
+	Job string      `json:"job"`
+	Idx int         `json:"idx"`
+	Out exp.Outcome `json:"out"`
+}
+
+// journalMark records a terminal job transition (fail or cancel).
+type journalMark struct {
+	Job string `json:"job"`
+	Msg string `json:"msg,omitempty"`
+}
+
+// Journal is the dispatcher's write-ahead job journal: open it with
+// OpenJournal, hand it to DispatcherOptions.Journal (NewDispatcher replays
+// the loaded records into its registry), and Close it when the process
+// exits. One dispatcher owns the file; do not share it.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	recs     []journalRecord
+	corrupt  int
+	tornTail bool
+	clean    bool
+
+	// failAfter, when >= 0, is a test-only crash point: it bounds the
+	// bytes this session may append, and the write that would cross the
+	// bound is truncated exactly at it and answered with errJournalCrash —
+	// simulating a hard kill mid-write. < 0 disables it.
+	failAfter int64
+	written   int64
+}
+
+// OpenJournal loads (or creates on first append) the journal at path,
+// skipping — and counting — corrupt lines, and detecting a torn tail.
+func OpenJournal(path string) (*Journal, error) {
+	jl := &Journal{path: path, failAfter: -1}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return jl, nil
+		}
+		return nil, fmt.Errorf("fabric: reading journal %s: %w", path, err)
+	}
+	jl.recs, jl.corrupt, jl.tornTail = decodeJournal(data)
+	jl.clean = len(jl.recs) > 0 && jl.recs[len(jl.recs)-1].Shutdown
+	return jl, nil
+}
+
+// decodeJournal parses journal bytes into the records that survived: one
+// JSON object per line, corrupt (undecodable or empty) lines skipped and
+// counted, torn reporting whether the data ends mid-record (no trailing
+// newline). It never fails: a journal is an optimization to replay, not a
+// source of truth to refuse.
+func decodeJournal(data []byte) (recs []journalRecord, corrupt int, torn bool) {
+	torn = len(data) > 0 && data[len(data)-1] != '\n'
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			corrupt++
+			continue
+		}
+		if rec.Submit == nil && rec.Grant == nil && rec.Done == nil &&
+			rec.Fail == nil && rec.Cancel == nil && !rec.Shutdown {
+			corrupt++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, corrupt, torn
+}
+
+// appendRecord appends one record through a persistent O_APPEND handle —
+// one write(2) per record, flushed by the kernel, so the most a hard kill
+// can cost is the record being written (which replay then skips as torn).
+func (jl *Journal) appendRecord(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fabric: encoding journal record: %w", err)
+	}
+	line = append(line, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.tornTail {
+		line = append([]byte{'\n'}, line...)
+		jl.tornTail = false
+	}
+	if jl.f == nil {
+		f, err := os.OpenFile(jl.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("fabric: opening journal for append: %w", err)
+		}
+		jl.f = f
+	}
+	if jl.failAfter >= 0 && jl.written+int64(len(line)) > jl.failAfter {
+		keep := jl.failAfter - jl.written
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > 0 {
+			jl.f.Write(line[:keep])
+			jl.written += keep
+		}
+		return errJournalCrash
+	}
+	if _, err := jl.f.Write(line); err != nil {
+		return fmt.Errorf("fabric: appending journal record: %w", err)
+	}
+	jl.written += int64(len(line))
+	return nil
+}
+
+// records returns the records loaded at open time; the dispatcher consumes
+// them once in NewDispatcher's restore.
+func (jl *Journal) records() []journalRecord {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.recs
+}
+
+// Len reports how many intact records the open loaded.
+func (jl *Journal) Len() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return len(jl.recs)
+}
+
+// Corrupt reports how many undecodable lines the open skipped.
+func (jl *Journal) Corrupt() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.corrupt
+}
+
+// CleanShutdown reports whether the loaded journal ended with a clean
+// shutdown record — the previous dispatcher drained rather than crashed.
+func (jl *Journal) CleanShutdown() bool {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.clean
+}
+
+// Path returns the journal's file path.
+func (jl *Journal) Path() string { return jl.path }
+
+// Close releases the append handle; the next append reopens it.
+func (jl *Journal) Close() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return nil
+	}
+	err := jl.f.Close()
+	jl.f = nil
+	if err != nil {
+		return fmt.Errorf("fabric: closing journal: %w", err)
+	}
+	return nil
+}
+
+// restoredState is the registry a journal replays to: the same structures
+// the live dispatcher maintains, rebuilt record by record with the live
+// transition guards (first submit wins, completions only on running jobs
+// and unemitted indices, terminal states are sticky).
+type restoredState struct {
+	jobs     map[string]*job
+	jobOrder []string
+	refs     map[string]string
+	nextJob  int
+	// failed lists jobs whose retry budget was already exhausted by
+	// interrupted grants at replay time; the dispatcher journals their
+	// failure and surfaces it like any other budget exhaustion.
+	failed []string
+}
+
+// restoreRecords replays journal records into a fresh registry.
+// maxAttempts is the dispatcher's per-task retry budget: a grant with no
+// matching done is an interrupted execution and consumes one attempt, so
+// the budget is unified across restarts — a task cannot crash-loop the
+// fabric by wedging every dispatcher incarnation.
+func restoreRecords(recs []journalRecord, maxAttempts int) *restoredState {
+	st := &restoredState{
+		jobs: make(map[string]*job),
+		refs: make(map[string]string),
+	}
+	for _, rec := range recs {
+		switch {
+		case rec.Submit != nil:
+			s := rec.Submit
+			if s.ID == "" || len(s.Tasks) == 0 {
+				continue
+			}
+			if _, ok := st.jobs[s.ID]; ok {
+				continue // duplicate submit record: first wins
+			}
+			j := &job{
+				id:       s.ID,
+				ref:      s.Ref,
+				name:     s.Name,
+				env:      s.Env,
+				tasks:    s.Tasks,
+				detach:   s.Detach,
+				state:    JobRunning,
+				attempts: make([]int, len(s.Tasks)),
+				emitted:  make([]bool, len(s.Tasks)),
+				outs:     make([]*exp.Outcome, len(s.Tasks)),
+				notify:   make(chan struct{}),
+			}
+			st.jobs[j.id] = j
+			st.jobOrder = append(st.jobOrder, j.id)
+			if s.Ref != "" {
+				if _, ok := st.refs[s.Ref]; !ok {
+					st.refs[s.Ref] = j.id
+				}
+			}
+			if n, ok := jobNum(s.ID); ok && n > st.nextJob {
+				st.nextJob = n
+			}
+		case rec.Grant != nil:
+			g := rec.Grant
+			j := st.jobs[g.Job]
+			if j == nil || g.Idx < 0 || g.Idx >= len(j.tasks) {
+				continue
+			}
+			if j.state != JobRunning || j.emitted[g.Idx] {
+				continue
+			}
+			j.attempts[g.Idx]++
+		case rec.Done != nil:
+			dn := rec.Done
+			j := st.jobs[dn.Job]
+			if j == nil || dn.Idx < 0 || dn.Idx >= len(j.tasks) {
+				continue
+			}
+			if j.state != JobRunning || j.emitted[dn.Idx] {
+				continue
+			}
+			out := dn.Out
+			j.emitted[dn.Idx] = true
+			j.done++
+			j.outs[dn.Idx] = &out
+			// The execution this grant recorded finished; it is not an
+			// interrupted attempt.
+			if j.attempts[dn.Idx] > 0 {
+				j.attempts[dn.Idx]--
+			}
+			if j.done == len(j.tasks) {
+				j.state = JobDone
+			}
+		case rec.Fail != nil:
+			j := st.jobs[rec.Fail.Job]
+			if j == nil || j.state != JobRunning {
+				continue
+			}
+			j.state = JobFailed
+			j.err = rec.Fail.Msg
+		case rec.Cancel != nil:
+			j := st.jobs[rec.Cancel.Job]
+			if j == nil || j.state != JobRunning {
+				continue
+			}
+			j.state = JobCanceled
+			j.err = rec.Cancel.Msg
+		case rec.Shutdown:
+			// Informational: the previous incarnation drained cleanly.
+		}
+	}
+	// Enforce the unified retry budget: a task whose interrupted grants
+	// already consumed every attempt fails its job at replay, exactly as
+	// the live requeueOnLoss would have.
+	for _, id := range st.jobOrder {
+		j := st.jobs[id]
+		if j.state != JobRunning {
+			continue
+		}
+		for idx := range j.tasks {
+			if !j.emitted[idx] && j.attempts[idx] >= maxAttempts {
+				j.state = JobFailed
+				j.err = fmt.Sprintf("fabric: %s failed %d times across dispatcher restarts (retry budget %d exhausted by interrupted grants)",
+					j.tasks[idx].Label(), j.attempts[idx], maxAttempts)
+				st.failed = append(st.failed, id)
+				break
+			}
+		}
+	}
+	return st
+}
+
+// jobNum parses the numeric suffix of a dispatcher job ID ("j17" -> 17).
+func jobNum(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

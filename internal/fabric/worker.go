@@ -22,6 +22,10 @@ var errHandshakeRefused = errors.New("fabric: dispatcher refused handshake")
 // has played its scripted death and must not reconnect.
 var errFaultStop = errors.New("fabric: fault injection: worker stopped")
 
+// errDrained is returned by a session when the worker was asked to drain:
+// it finished (or never started) its in-flight task and must not redial.
+var errDrained = errors.New("fabric: worker drained")
+
 // Worker is a fabric worker daemon: it dials the dispatcher, handshakes,
 // and executes assigned tasks through exp.ExecuteTask — the same executor
 // every backend runs, which is what keeps fabric output byte-identical to
@@ -74,6 +78,49 @@ type Worker struct {
 
 	sessions atomic.Int64
 	served   atomic.Int64
+
+	drainMu sync.Mutex
+	drainCh chan struct{}
+	// inTask is true between receiving an assignment and flushing its
+	// result; the drain watcher leaves a busy worker's connection alone so
+	// the in-flight task lands before the worker deregisters.
+	inTask atomic.Bool
+}
+
+// drainChan lazily creates the drain signal channel, so Drain works whether
+// it is called before, during, or after Run.
+func (w *Worker) drainChan() chan struct{} {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	if w.drainCh == nil {
+		w.drainCh = make(chan struct{})
+	}
+	return w.drainCh
+}
+
+// Drain asks the worker to exit gracefully: an idle worker disconnects
+// immediately; a worker mid-task finishes the task, delivers the result,
+// and then disconnects. Run returns nil after a drain. Safe to call from
+// any goroutine, any number of times.
+func (w *Worker) Drain() {
+	ch := w.drainChan()
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+}
+
+// draining reports whether Drain has been called.
+func (w *Worker) draining() bool {
+	select {
+	case <-w.drainChan():
+		return true
+	default:
+		return false
+	}
 }
 
 // Sessions reports how many sessions reached a completed handshake —
@@ -114,14 +161,20 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if w.draining() {
+			return nil
+		}
 		handshook, err := w.session(ctx)
 		switch {
 		case errors.Is(err, errHandshakeRefused):
 			return err
-		case errors.Is(err, errFaultStop):
+		case errors.Is(err, errFaultStop), errors.Is(err, errDrained):
 			return nil
 		case ctx.Err() != nil:
 			return ctx.Err()
+		}
+		if w.draining() {
+			return nil
 		}
 		if handshook {
 			delay = backoff // a healthy session resets the backoff
@@ -155,13 +208,20 @@ func (w *Worker) session(ctx context.Context) (handshook bool, err error) {
 		return false, err
 	}
 	defer conn.Close()
-	// Kill the connection when ctx cancels, so a blocked read unwinds.
+	// Kill the connection when ctx cancels, so a blocked read unwinds. A
+	// drain closes the connection too, but only while the worker is idle —
+	// mid-task the assignment loop sees the drain itself, after the result
+	// is delivered.
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	go func() {
 		select {
 		case <-ctx.Done():
 			conn.Close()
+		case <-w.drainChan():
+			if !w.inTask.Load() {
+				conn.Close()
+			}
 		case <-watchDone:
 		}
 	}()
@@ -218,8 +278,12 @@ func (w *Worker) session(ctx context.Context) (handshook bool, err error) {
 	for {
 		var a assignMsg
 		if err := wire.ReadFrame(br, &a); err != nil {
+			if w.draining() {
+				return true, errDrained
+			}
 			return true, fmt.Errorf("reading assignment: %w", err)
 		}
+		w.inTask.Store(true)
 		assigns++
 		if w.dieAfterAssigns > 0 && assigns >= w.dieAfterAssigns {
 			conn.Close()
@@ -256,8 +320,14 @@ func (w *Worker) session(ctx context.Context) (handshook bool, err error) {
 		if werr != nil {
 			return true, fmt.Errorf("writing result: %w", werr)
 		}
+		w.inTask.Store(false)
 		results++
 		w.served.Add(1)
+		if w.draining() {
+			w.logf("fabric worker %s: drained after in-flight task", w.Name)
+			conn.Close()
+			return true, errDrained
+		}
 		if w.dieAfterResults > 0 && results >= w.dieAfterResults {
 			conn.Close()
 			return true, errFaultStop

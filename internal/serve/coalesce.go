@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -92,6 +93,13 @@ func (s *Server) getFlight(key string, sw exp.Sweep) (*flight, int, error) {
 		s.coalesced.Add(1)
 		return f, 0, nil
 	}
+	if left := time.Until(s.backendDownUntil); left > 0 {
+		// Backend-down window open: don't start a computation that will only
+		// hang on redials. The first miss after the window closes probes.
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, http.StatusServiceUnavailable, errBackendDownWindow(left)
+	}
 	if s.inflight >= s.opts.MaxInflight {
 		s.mu.Unlock()
 		s.rejected.Add(1)
@@ -111,6 +119,7 @@ func (s *Server) getFlight(key string, sw exp.Sweep) (*flight, int, error) {
 // (exactly what `simulate -json` writes for this spec), installs them in
 // the response cache, and releases every waiter.
 func (s *Server) runFlight(f *flight, sw exp.Sweep) {
+	start := time.Now()
 	rs, err := exp.RunProgress(s.baseCtx, sw, s.opts.Exp, f.record)
 	if err == nil {
 		var buf bytes.Buffer
@@ -121,6 +130,9 @@ func (s *Server) runFlight(f *flight, sw exp.Sweep) {
 			s.results.Put(f.key, f.resp, int64(len(f.key)+len(f.resp)))
 		}
 	}
+	// Fold the outcome into backend health *before* releasing waiters, so a
+	// waiter's Retry-After reflects the window this flight just opened.
+	s.noteFlightOutcome(err, time.Since(start))
 	if err != nil {
 		f.err = fmt.Errorf("serve: computing sweep: %w", err)
 		s.opts.Logf("serve: flight %.12s failed: %v", f.key, err)

@@ -33,12 +33,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/lru"
@@ -80,6 +82,13 @@ type Options struct {
 	// onto the backend. Coalesced joins of an existing flight are always
 	// admitted — they cost no backend work.
 	MaxInflight int
+	// BackendRetryBase and BackendRetryMax shape the backend-down backoff
+	// window: after a flight fails with exp.ErrBackendUnavailable, new
+	// computations are refused (503 + Retry-After) for BackendRetryBase,
+	// doubling per consecutive failure up to BackendRetryMax; cache hits
+	// keep serving throughout. <= 0 means 1s and 60s.
+	BackendRetryBase time.Duration
+	BackendRetryMax  time.Duration
 	// Logf receives operational events; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -101,14 +110,23 @@ type Server struct {
 	mu       sync.Mutex
 	flights  map[string]*flight
 	inflight int
+	// backendDownUntil, when in the future, is the open backend-down
+	// window: new computations are refused until it passes. backendFailures
+	// counts consecutive backend-unavailable flights (the backoff
+	// exponent); flightEWMA tracks recent flight durations in seconds (the
+	// inflight-pressure Retry-After hint). See degrade.go.
+	backendDownUntil time.Time
+	backendFailures  int
+	flightEWMA       float64
 
 	bufPool sync.Pool
 
-	requests     atomic.Int64
-	hits         atomic.Int64
-	coalesced    atomic.Int64
-	computations atomic.Int64
-	rejected     atomic.Int64
+	requests       atomic.Int64
+	hits           atomic.Int64
+	coalesced      atomic.Int64
+	computations   atomic.Int64
+	rejected       atomic.Int64
+	backendUnavail atomic.Int64
 }
 
 // New returns a ready-to-serve Server.
@@ -234,7 +252,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	f, status, err := s.getFlight(key, sw)
 	if err != nil {
 		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		}
 		http.Error(w, err.Error(), status)
 		return
@@ -247,6 +265,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f.err != nil {
+		if errors.Is(f.err, exp.ErrBackendUnavailable) {
+			// The work is fine, the backend is gone: tell the client when to
+			// come back instead of calling it a server error.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			http.Error(w, f.err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, f.err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -258,15 +283,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	inflight := s.inflight
 	s.mu.Unlock()
+	down, downLeft := s.backendDown()
 	st := Stats{
-		Requests:     s.requests.Load(),
-		CacheHits:    s.hits.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Computations: s.computations.Load(),
-		Rejected:     s.rejected.Load(),
-		Inflight:     inflight,
-		Results:      s.results.Stats(),
-		RawMemo:      s.rawMemo.Stats(),
+		Requests:           s.requests.Load(),
+		CacheHits:          s.hits.Load(),
+		Coalesced:          s.coalesced.Load(),
+		Computations:       s.computations.Load(),
+		Rejected:           s.rejected.Load(),
+		BackendUnavailable: s.backendUnavail.Load(),
+		BackendDown:        down,
+		Inflight:           inflight,
+		Results:            s.results.Stats(),
+		RawMemo:            s.rawMemo.Stats(),
+	}
+	if down {
+		st.BackendRetryInSec = int(downLeft.Seconds()) + 1
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -287,7 +318,14 @@ type Stats struct {
 	Coalesced    int64 `json:"coalesced"`
 	Computations int64 `json:"computations"`
 	Rejected     int64 `json:"rejected"`
-	Inflight     int   `json:"inflight"`
+	// BackendUnavailable counts flights that failed because the compute
+	// backend was unreachable; BackendDown reports an open backend-down
+	// window (misses currently refused with 503 + Retry-After, cache hits
+	// still served), with BackendRetryInSec the window's remainder.
+	BackendUnavailable int64 `json:"backendUnavailable"`
+	BackendDown        bool  `json:"backendDown"`
+	BackendRetryInSec  int   `json:"backendRetryInSec,omitempty"`
+	Inflight           int   `json:"inflight"`
 	// Results and RawMemo are the LRU layers' counters (hits at this level
 	// double-count CacheHits; evictions and occupancy are the news here).
 	Results lru.Stats `json:"results"`

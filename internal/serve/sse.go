@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // handleStream is POST /v1/sweep/stream: the same spec resolution as
@@ -38,7 +39,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	f, status, err := s.getFlight(key, sw)
 	if err != nil {
 		if status == http.StatusServiceUnavailable {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		}
 		http.Error(w, err.Error(), status)
 		return

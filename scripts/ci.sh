@@ -129,6 +129,57 @@ if "$tmp/psq" -dispatcher "$addr" cancel no-such-job >/dev/null 2>&1; then
 fi
 kill "$disp_pid" "$w2_pid" 2>/dev/null || true
 
+echo "==> journal-replay unit gate (torn tails, crash points, replay, drain, deadlines, in-process failover)"
+go test ./internal/fabric -run 'TestJournal|TestRestoreRecords|TestDispatcherJournal|TestDispatcherDrain|TestFabricDispatcherCrashFailover|TestFabricWorkerDrain|TestFabricTaskDeadline' -count=1
+
+echo "==> dispatcher-crash gate (SIGKILL the real dispatcher mid-sweep; a restart on the same journal and address resumes; byte-identical)"
+"$tmp/fabricd" -role dispatcher -listen 127.0.0.1:0 -addr-file "$tmp/crash.addr" \
+  -journal "$tmp/jobs.jsonl" >"$tmp/crash_disp1.log" 2>&1 &
+cdisp_pid=$!
+for _ in $(seq 1 100); do [ -s "$tmp/crash.addr" ] && break; sleep 0.1; done
+if [ ! -s "$tmp/crash.addr" ]; then
+  echo "FAIL: crash-gate fabricd dispatcher did not publish its address" >&2
+  cat "$tmp/crash_disp1.log" >&2
+  exit 1
+fi
+caddr="$(cat "$tmp/crash.addr")"
+"$tmp/fabricd" -role worker -dispatcher "$caddr" -slots 2 >"$tmp/crash_worker1.log" 2>&1 &
+cw1_pid=$!
+"$tmp/fabricd" -role worker -dispatcher "$caddr" -slots 2 >"$tmp/crash_worker2.log" 2>&1 &
+cw2_pid=$!
+# The chaos script: SIGKILL the dispatcher mid-sweep — no drain, no
+# goodbye, a torn journal tail is fair game — then restart it on the SAME
+# journal and the SAME address. Workers redial it; the client's fabric
+# backend redials and re-attaches by its idempotency ref.
+( sleep 0.3
+  kill -9 "$cdisp_pid" 2>/dev/null || true
+  sleep 0.5
+  exec "$tmp/fabricd" -role dispatcher -listen "$caddr" -journal "$tmp/jobs.jsonl" \
+    >"$tmp/crash_disp2.log" 2>&1
+) &
+cdisp2_pid=$!
+trap 'kill -9 "$disp_pid" "$w1_pid" "$w2_pid" "$cdisp_pid" "$cdisp2_pid" "$cw1_pid" "$cw2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+"$tmp/simulate" $kill_flags -backend fabric -dispatcher "$caddr" -json "$tmp/crash.json" >/dev/null
+if ! cmp "$tmp/pool_kill.json" "$tmp/crash.json"; then
+  echo "FAIL: sweep through a SIGKILLed-and-restarted dispatcher differs from the pool" >&2
+  cat "$tmp/crash_disp1.log" "$tmp/crash_disp2.log" >&2
+  exit 1
+fi
+echo "    sweep survived SIGKILL of the dispatcher, byte-identical ($(wc -c < "$tmp/crash.json") bytes)"
+if wait "$cdisp_pid" 2>/dev/null; then
+  echo "FAIL: the first dispatcher exited cleanly (the crash never happened)" >&2
+  exit 1
+fi
+grep -q "replayed" "$tmp/crash_disp2.log" || {
+  echo "FAIL: the restarted dispatcher never replayed the journal" >&2
+  cat "$tmp/crash_disp2.log" >&2
+  exit 1
+}
+[ -s "$tmp/jobs.jsonl" ] || { echo "FAIL: the job journal is empty" >&2; exit 1; }
+"$tmp/psq" -dispatcher "$caddr" list | tee "$tmp/crash_psq.out"
+grep -q "done" "$tmp/crash_psq.out" || { echo "FAIL: the resumed job is not done on the restarted dispatcher" >&2; exit 1; }
+kill "$cdisp2_pid" "$cw1_pid" "$cw2_pid" 2>/dev/null || true
+
 echo "==> serving gate (resultd on a fabric backend: coalescing, byte-identity vs simulate -json, SSE)"
 go build -o "$tmp/resultd" ./cmd/resultd
 # Fresh fabric daemons for the serving layer (the fabric gate above tore
@@ -145,8 +196,10 @@ fi
 saddr="$(cat "$tmp/serve_fabric.addr")"
 "$tmp/fabricd" -role worker -dispatcher "$saddr" -slots 2 >"$tmp/serve_worker.log" 2>&1 &
 sworker_pid=$!
+# -backend-redial 1s: the degradation check below kills the fabric and
+# wants resultd to 503 misses quickly instead of redialing for the default.
 "$tmp/resultd" -listen 127.0.0.1:0 -addr-file "$tmp/resultd.addr" \
-  -backend fabric -dispatcher "$saddr" >"$tmp/resultd.log" 2>&1 &
+  -backend fabric -dispatcher "$saddr" -backend-redial 1s >"$tmp/resultd.log" 2>&1 &
 resultd_pid=$!
 trap 'kill -9 "$disp_pid" "$w1_pid" "$w2_pid" "$sdisp_pid" "$sworker_pid" "$resultd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 for _ in $(seq 1 100); do [ -s "$tmp/resultd.addr" ] && break; sleep 0.1; done
@@ -210,13 +263,47 @@ echo "    SSE streamed $(grep -c '^event: progress' "$tmp/sse.out") progress eve
 # the outcome-cache hits from the coalesced burst must be visible.
 "$tmp/psq" -dispatcher "$saddr" stats | tee "$tmp/psq_stats.out"
 grep -q "workers" "$tmp/psq_stats.out" || { echo "FAIL: psq stats shows no workers line" >&2; exit 1; }
-kill "$sdisp_pid" "$sworker_pid" "$resultd_pid" 2>/dev/null || true
+# Degradation: SIGKILL the fabric daemons under the still-running resultd.
+# Cache hits must keep serving; a fresh spec must come back 503 with a
+# Retry-After hint instead of hanging; /v1/stats must surface the outage.
+kill -9 "$sdisp_pid" "$sworker_pid" 2>/dev/null || true
+curl -s -X POST --data-binary @"$tmp/spec.json" "http://$raddr/v1/sweep" -o "$tmp/degrade_hit.json"
+if ! cmp "$tmp/pool.json" "$tmp/degrade_hit.json"; then
+  echo "FAIL: cache hit during a fabric outage is not byte-identical" >&2
+  exit 1
+fi
+sed 's/"baseSeed": 1/"baseSeed": 3/' "$tmp/spec.json" > "$tmp/spec3.json"
+code="$(curl -s -X POST --data-binary @"$tmp/spec3.json" "http://$raddr/v1/sweep" \
+  -D "$tmp/degrade_hdr.txt" -o /dev/null -w '%{http_code}')"
+if [ "$code" != "503" ]; then
+  echo "FAIL: miss during a fabric outage returned $code, want 503" >&2
+  cat "$tmp/resultd.log" >&2
+  exit 1
+fi
+grep -qi '^retry-after: [0-9]' "$tmp/degrade_hdr.txt" || {
+  echo "FAIL: degraded 503 carries no Retry-After hint" >&2
+  cat "$tmp/degrade_hdr.txt" >&2
+  exit 1
+}
+curl -s "http://$raddr/v1/stats" | tee "$tmp/degrade_stats.json"
+grep -q '"backendDown": true' "$tmp/degrade_stats.json" || {
+  echo "FAIL: /v1/stats does not report backendDown during the outage" >&2
+  exit 1
+}
+echo "    resultd degraded gracefully: cache hit served, miss 503 + Retry-After, outage visible in stats"
+kill "$resultd_pid" 2>/dev/null || true
 
 echo "==> serving coalescer race stress"
 go test -race -run 'TestCoalesceStressRace|TestCoalesceManyWaitersOneSubmit' -count=2 ./internal/serve
 
+echo "==> serving degradation gate (backend outage: cache hits serve, misses 503 with derived Retry-After)"
+go test -race -run 'TestBackendDownDegradation|TestBackendRecoveryProbe' -count=1 ./internal/serve
+
 echo "==> wire-codec fuzz gate (frame codec must reject hostile input without panicking)"
 go test -fuzz=FuzzFrameCodec -fuzztime=10s ./internal/wire
+
+echo "==> journal fuzz gate (arbitrary journal truncation/corruption must replay to a consistent registry)"
+go test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/fabric
 
 echo "==> go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist"
 go test -fuzz=FuzzFit -fuzztime=10s ./internal/dist
